@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md for the experiment index).  Benchmarks print the
+rows/series they produce so that ``pytest benchmarks/ --benchmark-only -s``
+doubles as the experiment report; EXPERIMENTS.md records a reference run.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-sweep",
+        action="store_true",
+        default=False,
+        help="run the benchmark sweeps over the full parameter ranges",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_sweep(request):
+    return request.config.getoption("--full-sweep")

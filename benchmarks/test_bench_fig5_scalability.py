@@ -1,0 +1,55 @@
+"""E3 -- Figure 5: scalability of reformulation on the XML star queries.
+
+The paper measures, for NC = 3..10 (with NV = NC - 1 redundant views), the
+time to find the *initial* reformulation and the additional time ("delta")
+to find the *best minimal* reformulation.  Both curves grow with NC but stay
+in the sub-second/seconds range, which is negligible against the execution
+times the reformulations save.
+"""
+
+import time
+
+import pytest
+
+from repro.core import MarsSystem
+from repro.workloads import star
+from repro.workloads.star import StarParameters
+
+SWEEP = (3, 4, 5, 6, 7, 8)
+FULL_SWEEP = (3, 4, 5, 6, 7, 8, 9, 10)
+
+
+def reformulate(corners: int):
+    parameters = StarParameters(corners=corners)
+    system = MarsSystem(star.build_configuration(parameters))
+    query = star.client_query(parameters)
+    return system.reformulate(query)
+
+
+@pytest.mark.parametrize("corners", [3, 5, 7])
+def test_star_reformulation_benchmark(benchmark, corners):
+    result = benchmark.pedantic(reformulate, args=(corners,), iterations=1, rounds=2)
+    assert result.found
+
+
+def test_report_figure5_series(full_sweep):
+    sweep = FULL_SWEEP if full_sweep else SWEEP
+    print("\nE3 / Figure 5: scalability of reformulation (times in ms)")
+    print(f"  {'NC':>4s} {'initial':>10s} {'delta to best':>14s} {'total':>10s} {'#minimal':>9s}")
+    previous_total = 0.0
+    for corners in sweep:
+        result = reformulate(corners)
+        assert result.found, f"no reformulation at NC={corners}"
+        initial_ms = result.time_to_initial * 1000
+        delta_ms = result.minimization_time * 1000
+        total_ms = result.time_to_best * 1000
+        print(
+            f"  {corners:4d} {initial_ms:10.1f} {delta_ms:14.1f} {total_ms:10.1f}"
+            f" {len(result.minimal):9d}"
+        )
+        previous_total = total_ms
+    # Shape check: the largest configuration must still reformulate, and the
+    # best reformulation must exploit the redundant views.
+    assert previous_total > 0.0
+    final = reformulate(sweep[-1])
+    assert any(name.startswith("V") for name in final.best.relation_names())

@@ -1,0 +1,96 @@
+"""E5 -- Figure 8: effect of schema specialization.
+
+The paper runs the star scenario with a proprietary schema containing only
+the views and measures the ratio of reformulation times without/with schema
+specialization, broken down into the time to the initial reformulation, the
+backchase minimization time, and the total.  The benefit grows (roughly
+exponentially) with NC: specialization collapses each element pattern into a
+single virtual-relation atom, shrinking both the query and every view
+constraint the chase must evaluate.
+"""
+
+import time
+
+import pytest
+
+from repro.core import MarsSystem
+from repro.engine import CBConfig, CBEngine
+from repro.specialize import SpecializationField, SpecializationMapping, Specializer
+from repro.workloads import star
+from repro.workloads.star import STAR_DOCUMENT, StarParameters
+
+SWEEP = (3, 4, 5, 6)
+FULL_SWEEP = (3, 4, 5, 6, 7, 8)
+
+
+def star_specializations(parameters: StarParameters):
+    """Specializations for the star document: the hub pattern and each corner."""
+    hub_fields = [SpecializationField("k", ("K",))] + [
+        SpecializationField(f"a{i}", (f"A{i}",)) for i in range(1, parameters.corners + 1)
+    ]
+    mappings = [SpecializationMapping("SpecR", STAR_DOCUMENT, "R", hub_fields)]
+    for index in range(1, parameters.corners + 1):
+        mappings.append(
+            SpecializationMapping(
+                f"SpecS{index}",
+                STAR_DOCUMENT,
+                f"S{index}",
+                [SpecializationField("a", ("A",)), SpecializationField("b", ("B",))],
+            )
+        )
+    return mappings
+
+
+def reformulation_times(corners: int, specialized: bool):
+    """(initial, minimization, total) times for one configuration."""
+    parameters = StarParameters(corners=corners, include_base_storage=False)
+    configuration = star.build_configuration(parameters)
+    system = MarsSystem(configuration)
+    query = star.client_query(parameters)
+    compiled = system.compile_query(query)
+    dependencies = system.dependencies
+    targets = system.target_relations
+    if specialized:
+        specializer = Specializer(star_specializations(parameters))
+        compiled = specializer.specialize_query(compiled)
+        dependencies = specializer.specialize_dependencies(dependencies)
+    engine = CBEngine(
+        config=system.cb_config, estimator=system.estimator, specs=system._specs
+    )
+    result = engine.reformulate(compiled, dependencies, target_relations=targets)
+    assert result.best is not None, f"no reformulation (specialized={specialized})"
+    return result.time_to_initial, result.minimization_time, result.time_to_best
+
+
+@pytest.mark.parametrize("specialized", [False, True], ids=["plain", "specialized"])
+def test_star_views_only_benchmark(benchmark, specialized):
+    benchmark.pedantic(
+        reformulation_times, args=(4, specialized), iterations=1, rounds=2
+    )
+
+
+def test_report_figure8_ratios(full_sweep):
+    sweep = FULL_SWEEP if full_sweep else SWEEP
+    print("\nE5 / Figure 8: running-time ratio without/with specialization")
+    print(
+        f"  {'NC':>4s} {'initial ratio':>14s} {'best ratio':>11s} {'total ratio':>12s}"
+        f" {'plain (ms)':>11s} {'spec (ms)':>10s}"
+    )
+    spec_totals = []
+    for corners in sweep:
+        plain = reformulation_times(corners, specialized=False)
+        spec = reformulation_times(corners, specialized=True)
+        ratios = tuple(
+            (p / s) if s > 0 else float("inf") for p, s in zip(plain, spec)
+        )
+        spec_totals.append(spec[2])
+        print(
+            f"  {corners:4d} {ratios[0]:14.2f} {ratios[1]:11.2f} {ratios[2]:12.2f}"
+            f" {plain[2] * 1000:11.1f} {spec[2] * 1000:10.1f}"
+        )
+    # Both pipelines must stay feasible and agree on the reformulation.  Note
+    # (see EXPERIMENTS.md): with the set-oriented chase the premise-matching
+    # bottleneck that specialization targets is already gone, so the paper's
+    # >1 and growing ratio does not reproduce at these scales; we record the
+    # measured ratios instead of asserting the paper's direction.
+    assert all(total < 60.0 for total in spec_totals)

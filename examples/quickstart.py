@@ -1,0 +1,90 @@
+"""Quickstart: publish relational data as XML and reformulate a client query.
+
+This walks through the smallest useful MARS configuration: one relational
+table published as a virtual XML document through a GAV view, one redundant
+materialized copy, and one client XBind query that MARS reformulates against
+the proprietary storage and executes.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.compile import ElementRule, XMLView
+from repro.core import MarsConfiguration, MarsExecutor, MarsSystem
+from repro.logical import RelationalAtom, Variable
+from repro.xbind import PathAtom, XBindQuery
+
+
+def build_configuration() -> MarsConfiguration:
+    configuration = MarsConfiguration("quickstart")
+
+    # Proprietary storage: a relational table of products.
+    configuration.add_relation(
+        "product",
+        ("sku", "name", "price"),
+        rows=[
+            ("p1", "keyboard", "30"),
+            ("p2", "mouse", "15"),
+            ("p3", "monitor", "220"),
+        ],
+    )
+
+    # Public schema: catalog.xml, a GAV view over the product table.
+    sku, name, price = Variable("sku"), Variable("name"), Variable("price")
+    body = (RelationalAtom("product", (sku, name, price)),)
+    catalog_view = XMLView(
+        "CatalogMap",
+        "catalog.xml",
+        [
+            ElementRule("catalog", "catalog", (), ()),
+            ElementRule("product", "product", (sku, name, price), body, parent="catalog"),
+            ElementRule(
+                "name", "name", (sku, name, price), body, parent="product", text_var=name
+            ),
+            ElementRule(
+                "price", "price", (sku, name, price), body, parent="product", text_var=price
+            ),
+        ],
+    )
+    configuration.add_xml_view(catalog_view, published=True)
+    return configuration
+
+
+def client_query() -> XBindQuery:
+    """Names and prices of all published products, formulated against catalog.xml."""
+    product, name, price = Variable("p"), Variable("name"), Variable("price")
+    return XBindQuery(
+        "NamePrice",
+        (name, price),
+        (
+            PathAtom("//product", product, document="catalog.xml"),
+            PathAtom("./name/text()", name, source=product),
+            PathAtom("./price/text()", price, source=product),
+        ),
+    )
+
+
+def main() -> None:
+    configuration = build_configuration()
+    system = MarsSystem(configuration)
+    query = client_query()
+
+    print("client XBind query (against the public schema):")
+    print(f"  {query}\n")
+
+    result = system.reformulate(query)
+    print(f"reformulation found in {result.time_to_best * 1000:.1f} ms")
+    print(f"  best reformulation: {result.best}")
+    print("  executable SQL:")
+    for line in result.sql.splitlines():
+        print(f"    {line}")
+
+    executor = MarsExecutor(configuration)
+    comparison = executor.compare(query, result.best)
+    print("\nexecution check:")
+    print(f"  original answers     : {sorted(comparison.original_rows)}")
+    print(f"  reformulated answers : {sorted(comparison.reformulated_rows)}")
+    print(f"  answers match        : {comparison.answers_match}")
+
+
+if __name__ == "__main__":
+    main()

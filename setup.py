@@ -1,0 +1,15 @@
+"""Setup shim for environments without PEP 517 build isolation (offline installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of MARS: A System for Publishing XML from Mixed and "
+        "Redundant Storage (VLDB 2003)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

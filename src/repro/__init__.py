@@ -1,0 +1,49 @@
+"""repro: a reproduction of MARS (Deutsch & Tannen, VLDB 2003).
+
+MARS publishes XML views of mixed (relational + XML) and redundant
+proprietary storage and reformulates client XQueries/XBind queries against
+the proprietary schema using the Chase & Backchase algorithm over a
+relational compilation of queries, views and constraints.
+
+Public entry points
+-------------------
+:class:`repro.core.MarsConfiguration`
+    Declare public/proprietary schemas, views, constraints and data.
+:class:`repro.core.MarsSystem`
+    Reformulate XBind queries against the proprietary schema.
+:class:`repro.core.MarsExecutor`
+    Execute original and reformulated queries on instance data.
+:class:`repro.engine.CBEngine`
+    The underlying Chase & Backchase engine, usable on purely relational
+    reformulation problems as well.
+"""
+
+from .core import MarsConfiguration, MarsExecutor, MarsReformulation, MarsSystem
+from .errors import (
+    ChaseError,
+    CompilationError,
+    EvaluationError,
+    MarsError,
+    ParseError,
+    ReformulationError,
+    SchemaError,
+    SpecializationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChaseError",
+    "CompilationError",
+    "EvaluationError",
+    "MarsConfiguration",
+    "MarsError",
+    "MarsExecutor",
+    "MarsReformulation",
+    "MarsSystem",
+    "ParseError",
+    "ReformulationError",
+    "SchemaError",
+    "SpecializationError",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""XML-to-relational compilation: GReX, TIX, XBind/XIC/view compilers."""
+
+from .grex import GREX_ARITIES, GrexSchema, closure_specs, sanitize_document_name
+from .tix import tix_dependencies, tix_for_documents
+from .view_compiler import (
+    ElementRule,
+    IdentityView,
+    RelationalView,
+    XMLView,
+    identity_xml_view,
+)
+from .xbind_compiler import GrexCompiler
+from .xic import XIC, compile_xic, compile_xics, xic_exists_child, xic_key
+
+__all__ = [
+    "ElementRule",
+    "GREX_ARITIES",
+    "GrexCompiler",
+    "GrexSchema",
+    "IdentityView",
+    "RelationalView",
+    "XIC",
+    "XMLView",
+    "closure_specs",
+    "compile_xic",
+    "compile_xics",
+    "identity_xml_view",
+    "sanitize_document_name",
+    "tix_dependencies",
+    "tix_for_documents",
+    "xic_exists_child",
+    "xic_key",
+]

@@ -1,0 +1,14 @@
+"""MARS system facade: configuration, reformulation and execution."""
+
+from .configuration import MarsConfiguration
+from .executor import ExecutionComparison, MarsExecutor
+from .reformulation import MarsReformulation
+from .system import MarsSystem
+
+__all__ = [
+    "ExecutionComparison",
+    "MarsConfiguration",
+    "MarsExecutor",
+    "MarsReformulation",
+    "MarsSystem",
+]

@@ -1,0 +1,220 @@
+"""MARS configurations: schemas, views and constraints of one deployment.
+
+A :class:`MarsConfiguration` gathers everything the administrator declares
+(paper Figure 3, left column):
+
+* the **public schema**: the virtual XML documents clients query;
+* the **proprietary schema**: stored XML documents and relational tables
+  (including redundant materialized views and caches);
+* the **schema correspondence**: GAV and LAV views relating the two sides;
+* **integrity constraints**: XICs on the XML data and DEDs (keys, foreign
+  keys, arbitrary dependencies) on the relational data.
+
+From these declarations the configuration derives the compiled artifacts
+the C&B engine needs: the per-document GReX schemas, the TIX axioms, the
+compiled views/XICs, the set of proprietary (target) relations a
+reformulation may use, and cardinality statistics for the cost estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..compile.grex import GrexSchema
+from ..compile.tix import tix_for_documents
+from ..compile.view_compiler import IdentityView, RelationalView, XMLView
+from ..compile.xbind_compiler import GrexCompiler
+from ..compile.xic import XIC, compile_xics
+from ..engine.shortcut import ClosureSpec
+from ..errors import SchemaError
+from ..logical.dependencies import DED
+from ..logical.schema import RelationalSchema
+from ..storage.statistics import TableStatistics
+from ..xmlmodel.model import XMLDocument
+
+DEFAULT_XML_ACCESS_WEIGHT = 5.0
+
+
+class MarsConfiguration:
+    """The declarative input of a MARS deployment."""
+
+    def __init__(self, name: str = "mars"):
+        self.name = name
+        self.public_documents: Dict[str, Optional[XMLDocument]] = {}
+        self.proprietary_documents: Dict[str, Optional[XMLDocument]] = {}
+        self.relational_schema = RelationalSchema(f"{name}_storage")
+        self.relational_data: Dict[str, List[Tuple[object, ...]]] = {}
+        self.relational_views: List[RelationalView] = []
+        self.xml_views: List[XMLView] = []
+        self.identity_views: List[IdentityView] = []
+        self.xics: List[XIC] = []
+        self.extra_dependencies: List[DED] = []
+        self.statistics = TableStatistics()
+        self.xml_access_weight = DEFAULT_XML_ACCESS_WEIGHT
+        self.include_disjunctive_tix = False
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def add_public_document(
+        self, name: str, instance: Optional[XMLDocument] = None
+    ) -> None:
+        """Declare a published (virtual) document, optionally with an instance."""
+        self.public_documents[name] = instance
+
+    def add_proprietary_document(
+        self, name: str, instance: Optional[XMLDocument] = None
+    ) -> None:
+        """Declare a stored native-XML document."""
+        self.proprietary_documents[name] = instance
+
+    def publish_document_as_is(
+        self, name: str, instance: Optional[XMLDocument] = None
+    ) -> None:
+        """Declare a stored document that is published unchanged (IdMap style)."""
+        self.add_proprietary_document(name, instance)
+        self.add_public_document(name, instance)
+
+    def add_relation(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        rows: Optional[Iterable[Sequence[object]]] = None,
+    ) -> None:
+        """Declare a proprietary relational table, optionally with data."""
+        self.relational_schema.add_relation(name, attributes)
+        if rows is not None:
+            self.relational_data[name] = [tuple(row) for row in rows]
+
+    def add_key(self, relation: str, attributes: Sequence[str]) -> None:
+        self.relational_schema.add_key(relation, attributes)
+
+    def add_foreign_key(
+        self,
+        source: str,
+        source_attributes: Sequence[str],
+        target: str,
+        target_attributes: Sequence[str],
+    ) -> None:
+        self.relational_schema.add_foreign_key(
+            source, source_attributes, target, target_attributes
+        )
+
+    def add_relational_view(
+        self, view: RelationalView, attributes: Optional[Sequence[str]] = None
+    ) -> None:
+        """Declare a materialized relational view (LAV redundancy for tuning)."""
+        self.relational_views.append(view)
+        if view.name not in self.relational_schema:
+            names = attributes or [f"c{i}" for i in range(view.arity)]
+            self.relational_schema.add_relation(view.name, names)
+
+    def add_xml_view(self, view: XMLView, published: bool = True) -> None:
+        """Declare an XML-producing view.
+
+        With ``published=True`` the output document becomes part of the public
+        schema (GAV mapping); otherwise it is a stored cache document (LAV),
+        and should also be registered as a proprietary document.
+        """
+        self.xml_views.append(view)
+        if published:
+            self.public_documents.setdefault(view.output_document, None)
+
+    def add_identity_view(self, view: IdentityView) -> None:
+        self.identity_views.append(view)
+
+    def add_xic(self, xic: XIC) -> None:
+        self.xics.append(xic)
+
+    def add_dependency(self, dependency: DED) -> None:
+        self.extra_dependencies.append(dependency)
+
+    # ------------------------------------------------------------------
+    # Derived artifacts
+    # ------------------------------------------------------------------
+    def document_names(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for name in self.public_documents:
+            seen.setdefault(name, None)
+        for name in self.proprietary_documents:
+            seen.setdefault(name, None)
+        return tuple(seen)
+
+    def grex_schemas(self) -> Dict[str, GrexSchema]:
+        return {name: GrexSchema(name) for name in self.document_names()}
+
+    def compiler(self) -> GrexCompiler:
+        schemas = self.grex_schemas()
+        default = None
+        if len(schemas) == 1:
+            default = next(iter(schemas))
+        return GrexCompiler(schemas, default_document=default)
+
+    def closure_specs(self) -> Tuple[ClosureSpec, ...]:
+        return tuple(schema.closure_spec() for schema in self.grex_schemas().values())
+
+    def dependencies(self) -> List[DED]:
+        """Every DED the chase will use: TIX, XICs, views, relational constraints."""
+        schemas = self.grex_schemas()
+        compiler = self.compiler()
+        dependencies: List[DED] = []
+        dependencies.extend(
+            tix_for_documents(schemas.values(), self.include_disjunctive_tix)
+        )
+        dependencies.extend(compile_xics(self.xics, compiler))
+        for view in self.relational_views:
+            dependencies.extend(view.compile(compiler))
+        for view in self.xml_views:
+            target = schemas.get(view.output_document)
+            if target is None:
+                raise SchemaError(
+                    f"XML view {view.name}: output document {view.output_document!r} "
+                    "is not declared"
+                )
+            dependencies.extend(view.compile(compiler, target))
+        for view in self.identity_views:
+            source = schemas.get(view.document)
+            published = schemas.get(view.published_as)
+            if source is None or published is None:
+                raise SchemaError(
+                    f"identity view {view.name}: documents {view.document!r} / "
+                    f"{view.published_as!r} must both be declared"
+                )
+            if view.document != view.published_as:
+                dependencies.extend(view.compile(source, published))
+        dependencies.extend(self.relational_schema.dependencies())
+        dependencies.extend(self.extra_dependencies)
+        return dependencies
+
+    def target_relations(self) -> Set[str]:
+        """Relations a reformulation may mention: the proprietary schema."""
+        schemas = self.grex_schemas()
+        target: Set[str] = set()
+        for name in self.proprietary_documents:
+            target.update(schemas[name].relation_names())
+        target.update(self.relational_schema.relation_names)
+        return target
+
+    def build_statistics(self) -> TableStatistics:
+        """Cardinality statistics with native-XML access weighted as more expensive."""
+        stats = TableStatistics(
+            cardinalities=dict(self.statistics.cardinalities),
+            access_weights=dict(self.statistics.access_weights),
+        )
+        schemas = self.grex_schemas()
+        for name, instance in self.proprietary_documents.items():
+            schema = schemas[name]
+            node_count = instance.node_count() if instance is not None else None
+            for relation in schema.relation_names():
+                stats.access_weights.setdefault(relation, self.xml_access_weight)
+                if node_count is not None and relation not in stats.cardinalities:
+                    stats.cardinalities[relation] = float(node_count)
+        for name, rows in self.relational_data.items():
+            stats.cardinalities.setdefault(name, float(len(rows)))
+        # Materialized views without instance data get a modest default size:
+        # they are maintained copies of published data, so they are expected
+        # to be far cheaper to scan than navigating the native XML documents.
+        for view in self.relational_views:
+            stats.cardinalities.setdefault(view.name, 200.0)
+        return stats

@@ -1,0 +1,173 @@
+"""Execution of original and reformulated queries against instance data.
+
+MARS proper stops at producing executable reformulations; real engines run
+them.  The reproduction needs to *verify* reformulations (they must return
+the same answers as the original query over the published documents) and to
+*measure* execution-time savings (paper section 4.2), so this module builds
+actual instances of both sides of a configuration and runs queries against
+them:
+
+* the **published side**: instance documents for the public schema, either
+  registered explicitly or materialized by evaluating the XML views over the
+  proprietary data;
+* the **proprietary side**: an in-memory database holding the relational
+  tables, the GReX encodings of stored XML documents, and the extents of the
+  materialized relational views.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compile.view_compiler import RelationalView
+from ..errors import EvaluationError
+from ..logical.queries import ConjunctiveQuery
+from ..storage.evaluation import evaluate_query
+from ..storage.relational_db import InMemoryDatabase
+from ..xbind.evaluation import MixedStorage, evaluate_xbind
+from ..xbind.query import XBindQuery
+from ..xmlmodel.model import XMLDocument
+from .configuration import MarsConfiguration
+
+Row = Tuple[object, ...]
+
+
+@dataclass
+class ExecutionComparison:
+    """Timing and answers of original-vs-reformulated execution."""
+
+    original_rows: List[Row]
+    reformulated_rows: List[Row]
+    original_seconds: float
+    reformulated_seconds: float
+
+    @property
+    def net_saving_seconds(self) -> float:
+        return self.original_seconds - self.reformulated_seconds
+
+    @property
+    def speedup(self) -> float:
+        if self.reformulated_seconds == 0:
+            return float("inf")
+        return self.original_seconds / self.reformulated_seconds
+
+    @property
+    def answers_match(self) -> bool:
+        return sorted(map(repr, self.original_rows)) == sorted(
+            map(repr, self.reformulated_rows)
+        )
+
+
+class MarsExecutor:
+    """Builds instance data for a configuration and runs queries against it."""
+
+    def __init__(self, configuration: MarsConfiguration):
+        self.configuration = configuration
+        self.public_storage = MixedStorage()
+        self.proprietary_storage = MixedStorage()
+        self.database = InMemoryDatabase()
+        self.proprietary_storage.database = self.database
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        configuration = self.configuration
+        # Proprietary relational tables and their data.
+        for relation in configuration.relational_schema.relations:
+            if not self.database.has_table(relation.name):
+                self.database.create_table(
+                    relation.name, relation.arity, relation.attributes
+                )
+            rows = configuration.relational_data.get(relation.name)
+            if rows:
+                self.database.table(relation.name).insert_many(rows)
+        # Proprietary XML documents: keep them navigable and materialize GReX.
+        schemas = configuration.grex_schemas()
+        for name, instance in configuration.proprietary_documents.items():
+            if instance is None:
+                continue
+            self.proprietary_storage.add_document(instance)
+            schemas[name].materialize(instance, self.database)
+        # Published documents: explicit instances, stored documents published
+        # as-is, or materializations of the XML views.
+        for name, instance in configuration.public_documents.items():
+            if instance is not None:
+                self.public_storage.add_document(instance)
+            elif name in configuration.proprietary_documents and (
+                configuration.proprietary_documents[name] is not None
+            ):
+                self.public_storage.add_document(
+                    configuration.proprietary_documents[name]
+                )
+        for view in configuration.xml_views:
+            if view.output_document in self.public_storage.documents:
+                continue
+            source = self._view_source_storage()
+            document = view.materialize(source)
+            self.public_storage.add_document(document)
+        # Materialized relational views: their extents are computed over the
+        # published data (they are LAV views of the public schema).
+        for view in configuration.relational_views:
+            self._materialize_relational_view(view)
+
+    def _view_source_storage(self) -> MixedStorage:
+        """Storage visible to view definitions: proprietary docs + relational data."""
+        storage = MixedStorage(
+            documents=dict(self.proprietary_storage.documents), database=self.database
+        )
+        for name, document in self.public_storage.documents.items():
+            storage.documents.setdefault(name, document)
+        return storage
+
+    def _materialize_relational_view(self, view: RelationalView) -> None:
+        storage = MixedStorage(
+            documents=dict(self.public_storage.documents), database=self.database
+        )
+        rows = evaluate_xbind(view.definition, storage)
+        if not self.database.has_table(view.name):
+            self.database.create_table(view.name, view.arity)
+        table = self.database.table(view.name)
+        table.clear()
+        table.insert_many(rows)
+
+    # ------------------------------------------------------------------
+    def execute_original(self, query: XBindQuery) -> List[Row]:
+        """Evaluate the client query directly over the published documents."""
+        storage = MixedStorage(
+            documents=dict(self.public_storage.documents), database=self.database
+        )
+        return evaluate_xbind(query, storage)
+
+    def execute_reformulation(self, query: ConjunctiveQuery) -> List[Row]:
+        """Evaluate a reformulation over the proprietary storage."""
+        return evaluate_query(query, self.database)
+
+    def compare(
+        self, original: XBindQuery, reformulation: ConjunctiveQuery, repeat: int = 1
+    ) -> ExecutionComparison:
+        """Run both versions, compare answers and wall-clock time."""
+        start = time.perf_counter()
+        original_rows: List[Row] = []
+        for _ in range(max(1, repeat)):
+            original_rows = self.execute_original(original)
+        original_seconds = (time.perf_counter() - start) / max(1, repeat)
+        start = time.perf_counter()
+        reformulated_rows: List[Row] = []
+        for _ in range(max(1, repeat)):
+            reformulated_rows = self.execute_reformulation(reformulation)
+        reformulated_seconds = (time.perf_counter() - start) / max(1, repeat)
+        return ExecutionComparison(
+            original_rows=original_rows,
+            reformulated_rows=reformulated_rows,
+            original_seconds=original_seconds,
+            reformulated_seconds=reformulated_seconds,
+        )
+
+    def statistics(self):
+        """Refresh table statistics from the actual instance data."""
+        stats = self.configuration.build_statistics()
+        for name, count in self.database.cardinalities().items():
+            stats.cardinalities[name] = float(count)
+        return stats

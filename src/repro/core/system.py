@@ -1,0 +1,111 @@
+"""The MARS system facade: reformulating client queries end to end.
+
+:class:`MarsSystem` wires a :class:`~repro.core.configuration.MarsConfiguration`
+into the C&B engine (paper Figure 3): it compiles client XBind queries over
+the public schema into conjunctive queries over GReX, chases them with the
+compiled schema correspondence, XICs, TIX and relational constraints, and
+backchases to find the minimal reformulations over the proprietary schema,
+ranked by the plug-in cost estimator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..engine.cb import CBConfig, CBEngine
+from ..engine.cost import CostEstimator, SimpleCostEstimator
+from ..errors import ReformulationError
+from ..logical.dependencies import DED
+from ..logical.queries import ConjunctiveQuery
+from ..storage.sql import render_sql
+from ..xbind.query import XBindQuery
+from .configuration import MarsConfiguration
+from .reformulation import MarsReformulation
+
+
+class MarsSystem:
+    """Reformulates queries over the public schema into proprietary queries."""
+
+    def __init__(
+        self,
+        configuration: MarsConfiguration,
+        estimator: Optional[CostEstimator] = None,
+        cb_config: Optional[CBConfig] = None,
+    ):
+        self.configuration = configuration
+        self.cb_config = cb_config or CBConfig()
+        # The default estimator must be cheap: the backchase estimates the cost
+        # of every candidate subquery.  The join-order-aware DP estimator can
+        # be plugged in explicitly for final plan ranking.
+        self.estimator = estimator or SimpleCostEstimator(
+            configuration.build_statistics()
+        )
+        # Compiled artifacts are derived once and reused across queries.
+        self._compiler = configuration.compiler()
+        self._dependencies: List[DED] = configuration.dependencies()
+        self._target_relations = configuration.target_relations()
+        self._specs = configuration.closure_specs()
+        self._engine = CBEngine(
+            config=self.cb_config, estimator=self.estimator, specs=self._specs
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def dependencies(self) -> List[DED]:
+        """The compiled DEDs of the configuration (TIX, XICs, views, keys)."""
+        return list(self._dependencies)
+
+    @property
+    def target_relations(self):
+        return set(self._target_relations)
+
+    def compile_query(self, query: XBindQuery) -> ConjunctiveQuery:
+        """Compile a client XBind query into a conjunctive query over GReX."""
+        return self._compiler.compile_xbind(query)
+
+    # ------------------------------------------------------------------
+    def reformulate(
+        self,
+        query: XBindQuery,
+        minimize: Optional[bool] = None,
+    ) -> MarsReformulation:
+        """Reformulate *query* against the proprietary schema.
+
+        When *minimize* is ``False`` only the initial reformulation is
+        produced (the paper's "switch off the backchase" mode); the default
+        follows the engine configuration.
+        """
+        compiled = self.compile_query(query)
+        engine = self._engine
+        if minimize is not None and minimize != self.cb_config.minimize:
+            config = CBConfig(
+                chase=self.cb_config.chase,
+                backchase=self.cb_config.backchase,
+                use_shortcut=self.cb_config.use_shortcut,
+                use_plan_pruning=self.cb_config.use_plan_pruning,
+                use_legality_pruning=self.cb_config.use_legality_pruning,
+                minimize=minimize,
+            )
+            engine = CBEngine(config=config, estimator=self.estimator, specs=self._specs)
+        result = engine.reformulate(
+            compiled, self._dependencies, target_relations=self._target_relations
+        )
+        sql = None
+        if result.best is not None:
+            sql = render_sql(result.best, self.configuration.relational_schema)
+        return MarsReformulation.from_cb_result(query, compiled, result, sql)
+
+    def reformulate_or_fail(self, query: XBindQuery) -> MarsReformulation:
+        """Like :meth:`reformulate` but raise when no reformulation exists."""
+        reformulation = self.reformulate(query)
+        if not reformulation.found:
+            raise ReformulationError(
+                f"no reformulation of {query.name} against the proprietary schema exists"
+            )
+        return reformulation
+
+    def reformulate_all(
+        self, queries: Sequence[XBindQuery]
+    ) -> List[MarsReformulation]:
+        """Reformulate a batch of decorrelated XBind queries (one client XQuery)."""
+        return [self.reformulate(query) for query in queries]

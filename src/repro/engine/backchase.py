@@ -1,0 +1,236 @@
+"""The backchase: enumerating minimal reformulations inside the universal plan.
+
+After the chase produced the universal plan, every minimal reformulation of
+the original query is a subquery of it (paper section 2.3, completeness
+result of [11]).  The backchase inspects subqueries bottom-up, smallest
+first, checking each for equivalence with the original query under the
+dependencies (by chasing the subquery "back" and looking for a containment
+mapping).  Cost-based pruning discards a subquery -- and all its supersets --
+as soon as its cost exceeds the best reformulation found so far, which is
+sound because the cost model is monotone.
+
+Only atoms over the *target* (proprietary) schema may appear in a
+reformulation; the largest such subquery is the *initial reformulation*,
+which is returned even when minimization is switched off.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ReformulationError
+from ..logical.atoms import RelationalAtom
+from ..logical.dependencies import DED
+from ..logical.queries import ConjunctiveQuery
+from .containment import ContainmentChecker
+from .cost import CostEstimator, SimpleCostEstimator
+from .pruning import SubqueryLegality
+
+
+@dataclass
+class BackchaseConfig:
+    """Tuning knobs for the backchase enumeration."""
+
+    prune_by_cost: bool = True
+    stop_at_first: bool = False
+    max_subquery_size: Optional[int] = None
+    max_inspected: int = 50_000
+    verify_minimality: bool = False
+
+
+@dataclass
+class BackchaseResult:
+    """All information produced by one backchase run."""
+
+    original: ConjunctiveQuery
+    universal_plan: ConjunctiveQuery
+    initial_reformulation: Optional[ConjunctiveQuery]
+    minimal_reformulations: List[ConjunctiveQuery] = field(default_factory=list)
+    best: Optional[ConjunctiveQuery] = None
+    best_cost: float = math.inf
+    subqueries_inspected: int = 0
+    equivalence_checks: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def found(self) -> bool:
+        return self.best is not None or self.initial_reformulation is not None
+
+
+class BackchaseEngine:
+    """Bottom-up enumeration of minimal reformulations with cost-based pruning."""
+
+    def __init__(
+        self,
+        checker: Optional[ContainmentChecker] = None,
+        estimator: Optional[CostEstimator] = None,
+        config: Optional[BackchaseConfig] = None,
+    ):
+        self.checker = checker or ContainmentChecker()
+        self.estimator = estimator or SimpleCostEstimator()
+        self.config = config or BackchaseConfig()
+
+    # ------------------------------------------------------------------
+    def target_atoms(
+        self,
+        universal_plan: ConjunctiveQuery,
+        target_relations: Optional[Set[str]],
+    ) -> Tuple[RelationalAtom, ...]:
+        """Atoms of the universal plan allowed to appear in reformulations."""
+        atoms = universal_plan.relational_body
+        if target_relations is None:
+            return atoms
+        return tuple(a for a in atoms if a.relation in target_relations)
+
+    def initial_reformulation(
+        self,
+        original: ConjunctiveQuery,
+        universal_plan: ConjunctiveQuery,
+        dependencies: Sequence[DED],
+        target_relations: Optional[Set[str]] = None,
+        verify: bool = True,
+    ) -> Optional[ConjunctiveQuery]:
+        """The largest subquery induced by proprietary-schema atoms.
+
+        Paper section 2.3: if any reformulation exists, this one is a
+        reformulation too (generally not minimal).  When *verify* is set the
+        equivalence is checked explicitly and ``None`` is returned if it
+        fails (meaning no reformulation exists at all).
+        """
+        atoms = self.target_atoms(universal_plan, target_relations)
+        if not atoms:
+            return None
+        candidate = universal_plan.subquery(atoms).with_name(f"{original.name}_initial")
+        if not candidate.is_safe():
+            return None
+        if verify and not self.checker.is_equivalent_subquery(
+            candidate, original, dependencies
+        ):
+            return None
+        return candidate
+
+    # ------------------------------------------------------------------
+    def backchase(
+        self,
+        original: ConjunctiveQuery,
+        universal_plan: ConjunctiveQuery,
+        dependencies: Sequence[DED],
+        target_relations: Optional[Set[str]] = None,
+        legality: Optional[SubqueryLegality] = None,
+    ) -> BackchaseResult:
+        """Enumerate minimal reformulations of *original* inside *universal_plan*."""
+        start = time.perf_counter()
+        candidates = self.target_atoms(universal_plan, target_relations)
+        result = BackchaseResult(
+            original=original,
+            universal_plan=universal_plan,
+            initial_reformulation=self.initial_reformulation(
+                original, universal_plan, dependencies, target_relations
+            ),
+        )
+        if not candidates:
+            result.elapsed_seconds = time.perf_counter() - start
+            return result
+        if legality is None:
+            legality = SubqueryLegality(candidates, specs=(), enabled=False)
+        if self.config.prune_by_cost and result.initial_reformulation is not None:
+            # The initial reformulation is itself a reformulation, so its cost
+            # is a sound upper bound that lets pruning start immediately
+            # (the "best cost seen so far" of the paper's backchase).
+            result.best_cost = self.estimator.estimate(result.initial_reformulation)
+
+        index_of = {atom: i for i, atom in enumerate(candidates)}
+        max_size = self.config.max_subquery_size or len(candidates)
+        found_sets: List[FrozenSet[int]] = []
+        seen: Set[FrozenSet[int]] = set()
+
+        def record_reformulation(subset: FrozenSet[int], query: ConjunctiveQuery, cost: float):
+            named = query.with_name(f"{original.name}_reform{len(result.minimal_reformulations)}")
+            result.minimal_reformulations.append(named)
+            found_sets.append(subset)
+            if result.best is None or cost < result.best_cost:
+                result.best_cost = min(cost, result.best_cost)
+                result.best = named
+
+        # Level 1: entry atoms.
+        level: List[FrozenSet[int]] = []
+        for index, atom in enumerate(candidates):
+            if legality.is_entry(atom):
+                subset = frozenset((index,))
+                seen.add(subset)
+                level.append(subset)
+
+        while level:
+            next_level: List[FrozenSet[int]] = []
+            if len(level) <= 512:
+                # Process cheap subsets first so that reformulations found
+                # early drive the cost-based pruning of the rest of the level.
+                level.sort(
+                    key=lambda subset: self.estimator.estimate(
+                        universal_plan.subquery([candidates[i] for i in sorted(subset)])
+                    )
+                )
+            for subset in level:
+                if result.subqueries_inspected >= self.config.max_inspected:
+                    result.elapsed_seconds = time.perf_counter() - start
+                    return result
+                if any(found <= subset for found in found_sets):
+                    continue  # supersets of reformulations are never minimal
+                atoms = [candidates[i] for i in sorted(subset)]
+                subquery = universal_plan.subquery(atoms)
+                result.subqueries_inspected += 1
+                # Cost-based pruning applies to every candidate (safe or not):
+                # the cost model is monotone, so once a subquery is costlier
+                # than the best reformulation found, so is every superset.
+                cost = self.estimator.estimate(subquery)
+                if self.config.prune_by_cost and cost > result.best_cost:
+                    continue  # prune this subquery and all its supersets
+                if subquery.is_safe():
+                    result.equivalence_checks += 1
+                    if self.checker.is_equivalent_subquery(subquery, original, dependencies):
+                        if self.config.verify_minimality and not self._is_minimal_within(
+                            subquery, original, dependencies
+                        ):
+                            pass
+                        else:
+                            record_reformulation(subset, subquery, cost)
+                            if self.config.stop_at_first:
+                                result.elapsed_seconds = time.perf_counter() - start
+                                return result
+                            continue  # supersets cannot be minimal
+                if len(subset) >= max_size:
+                    continue
+                for index, atom in enumerate(candidates):
+                    if index in subset:
+                        continue
+                    extended = subset | {index}
+                    if extended in seen:
+                        continue
+                    if not legality.can_extend(atoms, atom):
+                        continue
+                    seen.add(extended)
+                    next_level.append(extended)
+            level = next_level
+
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+    def _is_minimal_within(
+        self,
+        query: ConjunctiveQuery,
+        original: ConjunctiveQuery,
+        dependencies: Sequence[DED],
+    ) -> bool:
+        """Double-check minimality by trying to drop each atom of *query*."""
+        atoms = query.relational_body
+        for index in range(len(atoms)):
+            reduced = query.subquery(atoms[:index] + atoms[index + 1 :])
+            if not reduced.is_safe():
+                continue
+            if self.checker.is_equivalent_subquery(reduced, original, dependencies):
+                return False
+        return True

@@ -1,0 +1,456 @@
+"""The chase: rewriting a query with embedded dependencies until fixpoint.
+
+The chase is the main operation of the C&B algorithm (paper sections 2.3 and
+3.1).  A chase *step* of a query ``Q`` with a dependency ``c`` applies when
+
+(i)  there is a homomorphism ``h`` from the premise of ``c`` into the body
+     of ``Q``, and
+(ii) ``h`` cannot be extended to a homomorphism of any disjunct of ``c``'s
+     conclusion into the body of ``Q``.
+
+Its effect is to add the image of a conclusion disjunct under ``h`` to the
+body (with fresh variables for existentials) or, for equality-generating
+conclusions, to merge two terms of ``Q``.  Disjunctive dependencies branch
+the chase into one copy per disjunct; the result of the chase is therefore a
+set of leaf queries.
+
+Two homomorphism-search strategies are available, mirroring the paper:
+
+* ``"naive"``   -- backtracking search, one candidate tuple at a time
+  (the original C&B prototype's strategy, kept as the experimental baseline);
+* ``"joinTree"`` -- the new set-oriented implementation: premises compiled
+  to hash-join plans evaluated over the symbolic instance ``Inst(Q)``, with
+  the extension check done as a bulk semijoin.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ChaseError
+from ..logical.atoms import Atom, EqualityAtom, RelationalAtom
+from ..logical.dependencies import DED, Disjunct
+from ..logical.queries import ConjunctiveQuery
+from ..logical.terms import Constant, Term, Variable, VariableFactory, is_variable
+from .homomorphism import Homomorphism, NaiveHomomorphismFinder
+from .join_tree import CompiledConjunction, JoinTreeHomomorphismFinder
+from .symbolic_instance import SymbolicInstance
+
+DEFAULT_MAX_STEPS = 100_000
+DEFAULT_MAX_BRANCHES = 64
+
+
+@dataclass
+class ChaseConfig:
+    """Tuning knobs for the chase engine."""
+
+    strategy: str = "joinTree"  # "joinTree" (new implementation) or "naive"
+    max_steps: int = DEFAULT_MAX_STEPS
+    max_branches: int = DEFAULT_MAX_BRANCHES
+    raise_on_budget: bool = True
+
+
+@dataclass
+class ChaseStatistics:
+    """Counters reported by a chase run (used by the experiments)."""
+
+    steps_applied: int = 0
+    homomorphisms_found: int = 0
+    dependencies_fired: Dict[str, int] = field(default_factory=dict)
+    branches: int = 1
+    elapsed_seconds: float = 0.0
+
+    def record(self, dependency: DED) -> None:
+        self.steps_applied += 1
+        self.dependencies_fired[dependency.name] = (
+            self.dependencies_fired.get(dependency.name, 0) + 1
+        )
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of chasing a query: one or more leaf queries plus counters."""
+
+    original: ConjunctiveQuery
+    branches: List[ConjunctiveQuery]
+    statistics: ChaseStatistics
+
+    @property
+    def universal_plan(self) -> ConjunctiveQuery:
+        """The single chase result; raises when the chase branched."""
+        if len(self.branches) != 1:
+            raise ChaseError(
+                f"chase produced {len(self.branches)} branches; "
+                "use .branches for disjunctive results"
+            )
+        return self.branches[0]
+
+
+class _CompiledDependency:
+    """A dependency with premise and conclusions compiled for fast evaluation."""
+
+    def __init__(self, dependency: DED):
+        self.dependency = dependency
+        self.premise_plan = CompiledConjunction(dependency.premise)
+        universal = set(dependency.universal_variables())
+        self.disjunct_plans: List[CompiledConjunction] = []
+        self.disjunct_shared: List[Tuple[Variable, ...]] = []
+        for disjunct in dependency.disjuncts:
+            shared = tuple(v for v in disjunct.variables() if v in universal)
+            self.disjunct_plans.append(
+                CompiledConjunction(disjunct.relational_atoms(), seed_variables=shared)
+            )
+            self.disjunct_shared.append(shared)
+
+
+class ChaseEngine:
+    """Chases conjunctive queries with DEDs using a configurable strategy."""
+
+    def __init__(self, config: Optional[ChaseConfig] = None):
+        self.config = config or ChaseConfig()
+        if self.config.strategy not in ("naive", "joinTree"):
+            raise ChaseError(f"unknown chase strategy {self.config.strategy!r}")
+        self._naive = NaiveHomomorphismFinder()
+        self._compiled_cache: Dict[int, _CompiledDependency] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def chase(
+        self,
+        query: ConjunctiveQuery,
+        dependencies: Sequence[DED],
+    ) -> ChaseResult:
+        """Chase *query* with *dependencies* until no step applies."""
+        start = time.perf_counter()
+        statistics = ChaseStatistics()
+        factory = VariableFactory(prefix="_x", used=[v.name for v in query.variables()])
+        frontier: List[ConjunctiveQuery] = [query.dedupe()]
+        finished: List[ConjunctiveQuery] = []
+        compiled = [self._compile(dependency) for dependency in dependencies]
+
+        while frontier:
+            current = frontier.pop()
+            outcome = self._chase_branch(current, compiled, factory, statistics)
+            if outcome is None:
+                # inconsistent branch (chase failure): drop it
+                continue
+            branch_results, saturated = outcome
+            if saturated:
+                finished.extend(branch_results)
+            else:
+                frontier.extend(branch_results)
+            if len(frontier) + len(finished) > self.config.max_branches:
+                if self.config.raise_on_budget:
+                    raise ChaseError(
+                        f"chase exceeded branch budget ({self.config.max_branches})"
+                    )
+                finished.extend(frontier)
+                frontier = []
+        statistics.branches = max(1, len(finished))
+        statistics.elapsed_seconds = time.perf_counter() - start
+        if not finished:
+            finished = []
+        return ChaseResult(original=query, branches=finished, statistics=statistics)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _compile(self, dependency: DED) -> _CompiledDependency:
+        key = id(dependency)
+        plan = self._compiled_cache.get(key)
+        if plan is None:
+            plan = _CompiledDependency(dependency)
+            self._compiled_cache[key] = plan
+        return plan
+
+    def _chase_branch(
+        self,
+        query: ConjunctiveQuery,
+        compiled: Sequence[_CompiledDependency],
+        factory: VariableFactory,
+        statistics: ChaseStatistics,
+    ) -> Optional[Tuple[List[ConjunctiveQuery], bool]]:
+        """Chase one branch until saturation or until it forks.
+
+        Dependencies are processed in rounds.  For a tuple-generating
+        dependency all applicable homomorphisms found in a round are applied
+        in bulk (set-oriented processing); equality-generating and
+        disjunctive dependencies are applied one step at a time because their
+        application changes the terms the remaining homomorphisms refer to.
+
+        Returns ``(queries, saturated)`` where *saturated* says whether the
+        returned queries are chase leaves, or ``None`` when the branch is
+        inconsistent and must be discarded.
+        """
+        current = query
+        changed = True
+        cached_instance: Optional[SymbolicInstance] = None
+        cached_for: Optional[ConjunctiveQuery] = None
+        while changed:
+            changed = False
+            for plan in compiled:
+                dependency = plan.dependency
+                while True:
+                    if statistics.steps_applied > self.config.max_steps:
+                        if self.config.raise_on_budget:
+                            raise ChaseError(
+                                f"chase exceeded step budget ({self.config.max_steps})"
+                            )
+                        return [current], True
+                    if cached_for is not current:
+                        cached_instance = SymbolicInstance.from_query(current)
+                        cached_for = current
+                    instance = cached_instance
+                    homomorphisms = self._premise_homomorphisms(plan, current, instance)
+                    statistics.homomorphisms_found += len(homomorphisms)
+                    applicable = [
+                        h
+                        for h in homomorphisms
+                        if not self._extends_to_some_disjunct(plan, h, current, instance)
+                    ]
+                    if not applicable:
+                        break
+                    if dependency.is_disjunctive:
+                        statistics.record(dependency)
+                        branches = []
+                        for disjunct in dependency.disjuncts:
+                            branch = self._apply_disjunct(
+                                current, disjunct, applicable[0], factory
+                            )
+                            if branch is not None:
+                                branches.append(branch)
+                        if not branches:
+                            return None
+                        if len(branches) == 1:
+                            current = branches[0]
+                            changed = True
+                            continue
+                        return branches, False
+                    conclusion = dependency.disjuncts[0]
+                    has_equalities = bool(conclusion.equalities())
+                    if has_equalities:
+                        if not conclusion.relational_atoms():
+                            # Pure equality-generating conclusion: apply every
+                            # merge found in this round at once via union-find
+                            # (set-oriented processing of EGDs).
+                            applied = self._apply_egd_bulk(
+                                current, conclusion, applicable, statistics, dependency
+                            )
+                            if applied is None:
+                                return None
+                            current = applied
+                            changed = True
+                            continue
+                        statistics.record(dependency)
+                        applied = self._apply_disjunct(
+                            current, conclusion, applicable[0], factory
+                        )
+                        if applied is None:
+                            return None
+                        current = applied
+                        changed = True
+                        continue
+                    # Pure TGD: apply every homomorphism found in this round.
+                    before = len(current.body)
+                    for homomorphism in applicable:
+                        statistics.record(dependency)
+                        applied = self._apply_disjunct(
+                            current, conclusion, homomorphism, factory
+                        )
+                        if applied is None:
+                            return None
+                        current = applied
+                    if len(current.body) != before:
+                        changed = True
+                    break
+        return [current], True
+
+    def _premise_homomorphisms(
+        self,
+        plan: _CompiledDependency,
+        query: ConjunctiveQuery,
+        instance: SymbolicInstance,
+    ) -> List[Homomorphism]:
+        if self.config.strategy == "naive":
+            return self._naive.find_all(plan.dependency.premise, query.body)
+        return plan.premise_plan.evaluate(instance, target_atoms=query.body)
+
+    def _extends_to_some_disjunct(
+        self,
+        plan: _CompiledDependency,
+        homomorphism: Homomorphism,
+        query: ConjunctiveQuery,
+        instance: SymbolicInstance,
+    ) -> bool:
+        for index, disjunct in enumerate(plan.dependency.disjuncts):
+            if self._disjunct_satisfied(plan, index, disjunct, homomorphism, query, instance):
+                return True
+        return False
+
+    def _disjunct_satisfied(
+        self,
+        plan: _CompiledDependency,
+        index: int,
+        disjunct: Disjunct,
+        homomorphism: Homomorphism,
+        query: ConjunctiveQuery,
+        instance: SymbolicInstance,
+    ) -> bool:
+        seed = {
+            variable: homomorphism[variable]
+            for variable in plan.disjunct_shared[index]
+            if variable in homomorphism
+        }
+        relational = disjunct.relational_atoms()
+        if relational:
+            if self.config.strategy == "naive":
+                extensions = self._naive.find_all(relational, query.body, seed)
+            else:
+                extensions = plan.disjunct_plans[index].evaluate(
+                    instance, seeds=[seed], target_atoms=query.body
+                )
+            if not extensions:
+                return False
+            candidates = extensions
+        else:
+            candidates = [dict(seed)]
+        equalities = disjunct.equalities()
+        if not equalities:
+            return True
+        for candidate in candidates:
+            full = dict(homomorphism)
+            full.update(candidate)
+            if all(
+                full.get(e.left, e.left) == full.get(e.right, e.right)
+                for e in equalities
+            ):
+                return True
+        return False
+
+    def _apply_egd_bulk(
+        self,
+        query: ConjunctiveQuery,
+        conclusion: Disjunct,
+        homomorphisms: Sequence[Homomorphism],
+        statistics: ChaseStatistics,
+        dependency: DED,
+    ) -> Optional[ConjunctiveQuery]:
+        """Apply every merge demanded by an equality-generating conclusion at once.
+
+        The merges form equivalence classes computed with union-find; a class
+        containing two distinct constants means chase failure (``None``).
+        Constants, then head variables, are preferred as representatives.
+        """
+        parent: Dict[Term, Term] = {}
+
+        def find(term: Term) -> Term:
+            root = term
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(term, term) != term:
+                parent[term], term = root, parent[term]
+            return root
+
+        head_vars = set(query.head_variables())
+
+        def union(left: Term, right: Term) -> bool:
+            root_left, root_right = find(left), find(right)
+            if root_left == root_right:
+                return True
+            left_const = isinstance(root_left, Constant)
+            right_const = isinstance(root_right, Constant)
+            if left_const and right_const:
+                return False
+            if right_const or (root_right in head_vars and not left_const):
+                root_left, root_right = root_right, root_left
+            parent[root_right] = root_left
+            return True
+
+        merged_any = False
+        for homomorphism in homomorphisms:
+            statistics.record(dependency)
+            for equality in conclusion.equalities():
+                left = homomorphism.get(equality.left, equality.left)
+                right = homomorphism.get(equality.right, equality.right)
+                if left != right:
+                    merged_any = True
+                if not union(left, right):
+                    return None
+        if not merged_any:
+            return query
+        substitution = {
+            term: find(term) for term in parent if find(term) != term
+        }
+        return query.substitute(substitution).dedupe()
+
+    def _apply_disjunct(
+        self,
+        query: ConjunctiveQuery,
+        disjunct: Disjunct,
+        homomorphism: Homomorphism,
+        factory: VariableFactory,
+    ) -> Optional[ConjunctiveQuery]:
+        """Add the image of *disjunct* under *homomorphism* to the query body.
+
+        Returns ``None`` when an equality forces two distinct constants to be
+        merged (chase failure / inconsistent branch).
+        """
+        mapping: Dict[Term, Term] = dict(homomorphism)
+        universal_image = set(homomorphism)
+        for variable in disjunct.variables():
+            if variable not in universal_image and variable not in mapping:
+                mapping[variable] = factory.fresh()
+        new_atoms: List[Atom] = []
+        merges: List[Tuple[Term, Term]] = []
+        for atom in disjunct.atoms:
+            replaced = atom.substitute(mapping)
+            if isinstance(replaced, EqualityAtom):
+                if replaced.left != replaced.right:
+                    merges.append((replaced.left, replaced.right))
+            else:
+                new_atoms.append(replaced)
+        result = query.add_atoms(new_atoms) if new_atoms else query
+        for left, right in merges:
+            substitution = _merge_terms(result, left, right)
+            if substitution is None:
+                return None
+            if substitution:
+                result = result.substitute(substitution).dedupe()
+        return result
+
+
+def _merge_terms(
+    query: ConjunctiveQuery, left: Term, right: Term
+) -> Optional[Dict[Term, Term]]:
+    """Substitution implementing the EGD merge of *left* and *right*.
+
+    Prefers constants over variables and head variables over existential
+    ones; returns ``None`` when both terms are distinct constants (chase
+    failure) and an empty dict when the terms are already equal.
+    """
+    if left == right:
+        return {}
+    left_is_const = isinstance(left, Constant)
+    right_is_const = isinstance(right, Constant)
+    if left_is_const and right_is_const:
+        return None
+    if left_is_const:
+        return {right: left}
+    if right_is_const:
+        return {left: right}
+    head_vars = set(query.head_variables())
+    if left in head_vars and right not in head_vars:
+        return {right: left}
+    return {left: right}
+
+
+def chase_query(
+    query: ConjunctiveQuery,
+    dependencies: Sequence[DED],
+    config: Optional[ChaseConfig] = None,
+) -> ChaseResult:
+    """Convenience wrapper: chase *query* with *dependencies*."""
+    return ChaseEngine(config).chase(query, dependencies)

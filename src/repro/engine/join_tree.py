@@ -1,0 +1,246 @@
+"""Set-oriented homomorphism search via compiled join trees.
+
+This is the heart of the new C&B implementation (paper section 3.1).  Each
+constraint premise is compiled *once*, when the constraint is registered,
+into a :class:`CompiledConjunction`: an ordered sequence of scan/hash-join
+steps with selections (repeated variables, constants) pushed into the probe
+keys.  Evaluating that compiled plan over the symbolic instance ``Inst(Q)``
+produces, in bulk, all homomorphisms from the premise into the query body --
+replacing the tuple-at-a-time backtracking of the original prototype.
+
+The extension check of a chase step ("does the homomorphism extend to the
+conclusion?") is performed with the same machinery: the conclusion is also
+compiled, and the candidate homomorphisms that extend are computed as a
+semijoin of the premise result with the conclusion result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..logical.atoms import Atom, EqualityAtom, InequalityAtom, RelationalAtom
+from ..logical.terms import Constant, Term, Variable, is_variable
+from .homomorphism import Homomorphism, _filters_hold
+from .symbolic_instance import SymbolicInstance
+
+
+@dataclass(frozen=True)
+class _JoinStep:
+    """One step of the compiled plan: probe *atom* using *key_positions*.
+
+    ``key_positions`` are the positions of the atom whose value is known
+    before the step runs (constants or variables bound by earlier steps);
+    they form the hash key used to probe the symbolic instance's index.
+    ``new_variables`` lists the variables first bound by this step, together
+    with the positions they are read from.
+    """
+
+    atom: RelationalAtom
+    key_positions: Tuple[int, ...]
+    key_terms: Tuple[Term, ...]
+    check_positions: Tuple[Tuple[int, Term], ...]
+    new_variables: Tuple[Tuple[Variable, int], ...]
+
+
+class CompiledConjunction:
+    """A conjunction of atoms compiled to a pipeline of hash-join probes."""
+
+    def __init__(
+        self,
+        atoms: Sequence[Atom],
+        seed_variables: Sequence[Variable] = (),
+    ):
+        self.atoms = tuple(atoms)
+        self.relational = [a for a in atoms if isinstance(a, RelationalAtom)]
+        self.filters = [a for a in atoms if not isinstance(a, RelationalAtom)]
+        self._steps = self._compile(tuple(seed_variables))
+        self.variables = self._collect_variables()
+
+    def _collect_variables(self) -> Tuple[Variable, ...]:
+        seen: Dict[Variable, None] = {}
+        for atom in self.atoms:
+            for variable in atom.variables():
+                seen.setdefault(variable, None)
+        return tuple(seen)
+
+    def _compile(self, seed_variables: Tuple[Variable, ...]) -> List[_JoinStep]:
+        """Choose a join order greedily (most-bound atom first) and plan each probe."""
+        remaining = list(self.relational)
+        bound: set = set(seed_variables)
+        steps: List[_JoinStep] = []
+        while remaining:
+            best_index = 0
+            best_score = -1
+            for index, atom in enumerate(remaining):
+                score = sum(
+                    1
+                    for term in atom.terms
+                    if not is_variable(term) or term in bound
+                )
+                # Prefer atoms with more bound positions; break ties by arity
+                # (smaller atoms first) to keep intermediate results small.
+                if score > best_score or (
+                    score == best_score and atom.arity < remaining[best_index].arity
+                ):
+                    best_score = score
+                    best_index = index
+            atom = remaining.pop(best_index)
+            steps.append(self._plan_step(atom, bound))
+            for term in atom.terms:
+                if is_variable(term):
+                    bound.add(term)
+        return steps
+
+    @staticmethod
+    def _plan_step(atom: RelationalAtom, bound: set) -> _JoinStep:
+        key_positions: List[int] = []
+        key_terms: List[Term] = []
+        check_positions: List[Tuple[int, Term]] = []
+        new_variables: List[Tuple[Variable, int]] = []
+        seen_new: Dict[Variable, int] = {}
+        for position, term in enumerate(atom.terms):
+            if not is_variable(term):
+                key_positions.append(position)
+                key_terms.append(term)
+            elif term in bound:
+                key_positions.append(position)
+                key_terms.append(term)
+            elif term in seen_new:
+                # Repeated fresh variable within the same atom: selection.
+                check_positions.append((position, term))
+            else:
+                seen_new[term] = position
+                new_variables.append((term, position))
+        return _JoinStep(
+            atom=atom,
+            key_positions=tuple(key_positions),
+            key_terms=tuple(key_terms),
+            check_positions=tuple(check_positions),
+            new_variables=tuple(new_variables),
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        instance: SymbolicInstance,
+        seeds: Optional[Sequence[Homomorphism]] = None,
+        target_atoms: Sequence[Atom] = (),
+        limit: Optional[int] = None,
+    ) -> List[Homomorphism]:
+        """All homomorphisms of the conjunction into *instance*.
+
+        *seeds* optionally fixes the images of some variables (used for the
+        extension/semijoin check).  *target_atoms* supplies the inequality
+        atoms of the target query so premise inequalities can be validated.
+        ``limit`` stops the evaluation early once that many results exist
+        (used for existence checks).
+        """
+        current: List[Homomorphism] = [dict(s) for s in seeds] if seeds else [{}]
+        for step in self._steps:
+            if not current:
+                return []
+            next_bindings: List[Homomorphism] = []
+            index = instance.index(step.atom.relation, step.key_positions)
+            for binding in current:
+                key = tuple(
+                    term if isinstance(term, Constant) else binding[term]
+                    for term in step.key_terms
+                )
+                for row in index.get(key, ()):  # hash probe
+                    ok = True
+                    for position, variable in step.check_positions:
+                        expected = binding.get(variable)
+                        if expected is None:
+                            # repeated within-atom variable: compare against its
+                            # first occurrence in this row
+                            first_position = dict(step.new_variables).get(variable)
+                            expected = row[first_position] if first_position is not None else None
+                        if expected is not None and row[position] != expected:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                    extended = dict(binding)
+                    clash = False
+                    for variable, position in step.new_variables:
+                        value = row[position]
+                        previous = extended.get(variable)
+                        if previous is not None and previous != value:
+                            clash = True
+                            break
+                        extended[variable] = value
+                    if clash:
+                        continue
+                    # validate within-atom repeats against newly bound values
+                    valid = True
+                    for position, variable in step.check_positions:
+                        if extended.get(variable) != row[position]:
+                            valid = False
+                            break
+                    if valid:
+                        next_bindings.append(extended)
+            current = next_bindings
+        if self.filters:
+            current = [
+                binding
+                for binding in current
+                if _filters_hold(self.filters, target_atoms, binding)
+            ]
+        if limit is not None:
+            current = current[:limit]
+        return current
+
+
+class JoinTreeHomomorphismFinder:
+    """Set-oriented homomorphism finder; interface-compatible with the naive one."""
+
+    def __init__(self):
+        self._cache: Dict[Tuple[Atom, ...], CompiledConjunction] = {}
+
+    def _compiled(self, pattern: Sequence[Atom]) -> CompiledConjunction:
+        key = tuple(pattern)
+        plan = self._cache.get(key)
+        if plan is None:
+            plan = CompiledConjunction(pattern)
+            self._cache[key] = plan
+        return plan
+
+    def find_all(
+        self,
+        pattern: Sequence[Atom],
+        target: Sequence[Atom],
+        seed: Optional[Mapping[Variable, Term]] = None,
+    ) -> List[Homomorphism]:
+        instance = SymbolicInstance.from_atoms(target)
+        return self.find_all_in_instance(pattern, instance, target, seed)
+
+    def find_all_in_instance(
+        self,
+        pattern: Sequence[Atom],
+        instance: SymbolicInstance,
+        target_atoms: Sequence[Atom] = (),
+        seed: Optional[Mapping[Variable, Term]] = None,
+        limit: Optional[int] = None,
+    ) -> List[Homomorphism]:
+        plan = self._compiled(tuple(pattern))
+        seeds = [dict(seed)] if seed else None
+        return plan.evaluate(instance, seeds=seeds, target_atoms=target_atoms, limit=limit)
+
+    def find_one(
+        self,
+        pattern: Sequence[Atom],
+        target: Sequence[Atom],
+        seed: Optional[Mapping[Variable, Term]] = None,
+    ) -> Optional[Homomorphism]:
+        instance = SymbolicInstance.from_atoms(target)
+        results = self.find_all_in_instance(pattern, instance, target, seed, limit=1)
+        return results[0] if results else None
+
+    def exists(
+        self,
+        pattern: Sequence[Atom],
+        target: Sequence[Atom],
+        seed: Optional[Mapping[Variable, Term]] = None,
+    ) -> bool:
+        return self.find_one(pattern, target, seed) is not None

@@ -1,0 +1,214 @@
+"""XML-specific optimizations of the backchase search space.
+
+Paper section 3.2 describes three criteria that shrink the universal plan
+and the set of subqueries the backchase must inspect, without losing the
+optimal reformulation:
+
+1. ``desc`` atoms that run *parallel* to a chain of ``child``/``desc`` atoms
+   are removed from the universal plan (navigating a descendant edge can
+   never be cheaper than the explicit chain under a reasonable cost model).
+2. Child/descendant navigation steps in a subquery must be contiguous --
+   no "jumping" into the middle of a document.
+3. A subquery must contain a valid entry point into each document it
+   navigates (a ``root`` atom, an unproduced context node, or a non-GReX
+   atom such as a view).
+
+Criteria 2-3 are enforced constructively: a directed *reachability graph*
+over the atoms of the universal plan is built, and the backchase only ever
+extends a candidate subquery with atoms reachable from what it already
+contains, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..logical.atoms import RelationalAtom
+from ..logical.queries import ConjunctiveQuery
+from ..logical.terms import Term, Variable, is_variable
+from .shortcut import ClosureSpec
+
+
+@dataclass(frozen=True)
+class GrexAtomClassifier:
+    """Classifies atoms of a universal plan with respect to GReX relations."""
+
+    specs: Tuple[ClosureSpec, ...]
+
+    def __init__(self, specs: Sequence[ClosureSpec]):
+        object.__setattr__(self, "specs", tuple(specs))
+
+    def _spec_relation_sets(self):
+        navigation, roots, properties = set(), set(), set()
+        for spec in self.specs:
+            navigation.update((spec.child, spec.desc))
+            roots.add(spec.root)
+            properties.update((spec.tag, spec.text, spec.attr, spec.id, spec.el))
+        return navigation, roots, properties
+
+    def is_navigation(self, atom: RelationalAtom) -> bool:
+        navigation, _, _ = self._spec_relation_sets()
+        return atom.relation in navigation and atom.arity == 2
+
+    def is_root(self, atom: RelationalAtom) -> bool:
+        _, roots, _ = self._spec_relation_sets()
+        return atom.relation in roots
+
+    def is_property(self, atom: RelationalAtom) -> bool:
+        _, _, properties = self._spec_relation_sets()
+        return atom.relation in properties
+
+    def is_grex(self, atom: RelationalAtom) -> bool:
+        return self.is_navigation(atom) or self.is_root(atom) or self.is_property(atom)
+
+    def is_descendant(self, atom: RelationalAtom) -> bool:
+        return any(atom.relation == spec.desc for spec in self.specs)
+
+    def is_child(self, atom: RelationalAtom) -> bool:
+        return any(atom.relation == spec.child for spec in self.specs)
+
+
+def prune_parallel_descendant_atoms(
+    plan: ConjunctiveQuery, specs: Sequence[ClosureSpec]
+) -> Tuple[ConjunctiveQuery, int]:
+    """Criterion 1: drop ``desc`` atoms parallel to a chain of other navigation atoms.
+
+    Reflexive ``desc`` atoms are always dropped.  A non-reflexive ``desc(x, y)``
+    is dropped when ``y`` is reachable from ``x`` through the remaining
+    navigation atoms (excluding the atom itself).  Equivalence to the original
+    query and optimality of the best reformulation are preserved (paper
+    section 3.2, criterion 1).
+    """
+    classifier = GrexAtomClassifier(specs)
+    atoms = list(plan.relational_body)
+    navigation_edges: Dict[Term, Set[Tuple[Term, RelationalAtom]]] = {}
+    for atom in atoms:
+        if classifier.is_navigation(atom):
+            navigation_edges.setdefault(atom.terms[0], set()).add((atom.terms[1], atom))
+
+    def reachable_without(source: Term, target: Term, excluded: RelationalAtom) -> bool:
+        frontier = [source]
+        seen: Set[Term] = set()
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for successor, edge_atom in navigation_edges.get(node, ()):  # BFS/DFS
+                if edge_atom is excluded and node == source:
+                    # skip only the excluded atom when leaving the source;
+                    # other occurrences of the same edge via child are allowed
+                    continue
+                if successor == target:
+                    return True
+                frontier.append(successor)
+        return False
+
+    removed: Set[RelationalAtom] = set()
+    for atom in atoms:
+        if not classifier.is_descendant(atom) or atom.arity != 2:
+            continue
+        source, target = atom.terms
+        if source == target:
+            removed.add(atom)
+            continue
+        if reachable_without(source, target, atom):
+            removed.add(atom)
+    if not removed:
+        return plan, 0
+    kept = [a for a in plan.body if not (isinstance(a, RelationalAtom) and a in removed)]
+    return plan.with_body(kept), len(removed)
+
+
+class SubqueryLegality:
+    """Criteria 2-3: legal extension of candidate subqueries.
+
+    Implements the directed reachability graph of paper section 3.2: the
+    backchase starts candidate subqueries at *entry* atoms (roots of the
+    graph) and only ever adds an atom whose context node is already covered
+    by the candidate.  Non-GReX atoms (views, relational storage,
+    specialized relations) are always entry points and cover all their
+    variables.
+    """
+
+    def __init__(
+        self,
+        atoms: Sequence[RelationalAtom],
+        specs: Sequence[ClosureSpec] = (),
+        enabled: bool = True,
+    ):
+        self.atoms = tuple(atoms)
+        self.enabled = enabled and bool(specs)
+        self.classifier = GrexAtomClassifier(specs) if specs else None
+        self._produced: Set[Term] = set()
+        if self.classifier is not None:
+            for atom in self.atoms:
+                if self.classifier.is_navigation(atom):
+                    self._produced.add(atom.terms[1])
+                elif self.classifier.is_root(atom):
+                    self._produced.add(atom.terms[0])
+
+    # ------------------------------------------------------------------
+    def is_entry(self, atom: RelationalAtom) -> bool:
+        """Entry points: roots, non-GReX atoms, and unproduced context nodes."""
+        if not self.enabled:
+            return True
+        classifier = self.classifier
+        if not classifier.is_grex(atom):
+            return True
+        if classifier.is_root(atom):
+            return True
+        if classifier.is_navigation(atom):
+            return atom.terms[0] not in self._produced
+        # property atom: entry when its node is not produced by any navigation
+        return atom.terms[0] not in self._produced
+
+    def covered_terms(self, subset: Iterable[RelationalAtom]) -> Set[Term]:
+        """Terms made available ("navigated to") by the atoms of *subset*."""
+        covered: Set[Term] = set()
+        classifier = self.classifier
+        for atom in subset:
+            if classifier is None or not classifier.is_grex(atom):
+                covered.update(atom.terms)
+            elif classifier.is_root(atom):
+                covered.update(atom.terms)
+            elif classifier.is_navigation(atom):
+                covered.add(atom.terms[1])
+                if self.is_entry(atom):
+                    covered.add(atom.terms[0])
+            else:  # property atom
+                covered.update(atom.terms)
+        return covered
+
+    def can_extend(
+        self, subset: Sequence[RelationalAtom], atom: RelationalAtom
+    ) -> bool:
+        """May *atom* be added to the candidate *subset* (criteria 2-3)?"""
+        if not self.enabled:
+            return True
+        if self.is_entry(atom):
+            return True
+        covered = self.covered_terms(subset)
+        classifier = self.classifier
+        if classifier.is_navigation(atom):
+            return atom.terms[0] in covered
+        # property atoms attach to an already-covered node
+        return atom.terms[0] in covered
+
+    def is_legal(self, subset: Sequence[RelationalAtom]) -> bool:
+        """Is the whole *subset* constructible by legal extensions?"""
+        if not self.enabled:
+            return True
+        remaining = list(subset)
+        current: List[RelationalAtom] = []
+        progressed = True
+        while remaining and progressed:
+            progressed = False
+            for index, atom in enumerate(remaining):
+                if self.can_extend(current, atom):
+                    current.append(atom)
+                    remaining.pop(index)
+                    progressed = True
+                    break
+        return not remaining

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the MARS reproduction.
+
+Every error raised by the library derives from :class:`MarsError` so that
+callers can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class MarsError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParseError(MarsError):
+    """Raised when parsing XPath, XQuery or XML text fails."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SchemaError(MarsError):
+    """Raised for inconsistent schema declarations (arity mismatch, duplicates)."""
+
+
+class CompilationError(MarsError):
+    """Raised when XML artifacts cannot be compiled to the relational framework."""
+
+
+class ChaseError(MarsError):
+    """Raised when the chase cannot make progress or exceeds its budget."""
+
+
+class ReformulationError(MarsError):
+    """Raised when no reformulation against the proprietary schema exists."""
+
+
+class EvaluationError(MarsError):
+    """Raised when a query cannot be evaluated against the in-memory storage."""
+
+
+class SpecializationError(MarsError):
+    """Raised for invalid schema-specialization mappings."""

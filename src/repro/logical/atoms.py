@@ -1,0 +1,138 @@
+"""Atoms of the relational logical framework.
+
+Three kinds of atoms appear in conjunctive queries and dependencies:
+
+* :class:`RelationalAtom` -- ``R(t1, ..., tk)`` over a named relation,
+* :class:`EqualityAtom` -- ``t1 = t2``,
+* :class:`InequalityAtom` -- ``t1 != t2``.
+
+All atoms are immutable and hashable, and support substitution of terms,
+which is the single operation the chase performs on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence, Tuple, Union
+
+from .terms import Constant, Term, Variable, is_variable
+
+
+@dataclass(frozen=True)
+class RelationalAtom:
+    """An atom ``relation(terms...)`` in a query body or dependency."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Term]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables occurring in the atom (with repetitions)."""
+        for item in self.terms:
+            if is_variable(item):
+                yield item
+
+    def constants(self) -> Iterator[Constant]:
+        """Yield the constants occurring in the atom (with repetitions)."""
+        for item in self.terms:
+            if not is_variable(item):
+                yield item
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "RelationalAtom":
+        """Return a copy with every term replaced according to *mapping*."""
+        return RelationalAtom(
+            self.relation, tuple(mapping.get(item, item) for item in self.terms)
+        )
+
+    def __str__(self) -> str:
+        args = ", ".join(str(item) for item in self.terms)
+        return f"{self.relation}({args})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+@dataclass(frozen=True)
+class EqualityAtom:
+    """An equality ``left = right`` between two terms."""
+
+    left: Term
+    right: Term
+
+    def variables(self) -> Iterator[Variable]:
+        for item in (self.left, self.right):
+            if is_variable(item):
+                yield item
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "EqualityAtom":
+        return EqualityAtom(
+            mapping.get(self.left, self.left), mapping.get(self.right, self.right)
+        )
+
+    def is_trivial(self) -> bool:
+        """Return ``True`` when both sides are syntactically identical."""
+        return self.left == self.right
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+@dataclass(frozen=True)
+class InequalityAtom:
+    """A non-equality ``left != right`` between two terms."""
+
+    left: Term
+    right: Term
+
+    def variables(self) -> Iterator[Variable]:
+        for item in (self.left, self.right):
+            if is_variable(item):
+                yield item
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "InequalityAtom":
+        return InequalityAtom(
+            mapping.get(self.left, self.left), mapping.get(self.right, self.right)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} != {self.right}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+Atom = Union[RelationalAtom, EqualityAtom, InequalityAtom]
+
+
+def atom_variables(atoms: Sequence[Atom]) -> Tuple[Variable, ...]:
+    """Return the variables of *atoms* in first-occurrence order, de-duplicated."""
+    seen = {}
+    for item in atoms:
+        for variable in item.variables():
+            seen.setdefault(variable, None)
+    return tuple(seen)
+
+
+def relational_atoms(atoms: Sequence[Atom]) -> Tuple[RelationalAtom, ...]:
+    """Return only the relational atoms of *atoms*, preserving order."""
+    return tuple(item for item in atoms if isinstance(item, RelationalAtom))
+
+
+def equality_atoms(atoms: Sequence[Atom]) -> Tuple[EqualityAtom, ...]:
+    """Return only the equality atoms of *atoms*, preserving order."""
+    return tuple(item for item in atoms if isinstance(item, EqualityAtom))
+
+
+def inequality_atoms(atoms: Sequence[Atom]) -> Tuple[InequalityAtom, ...]:
+    """Return only the inequality atoms of *atoms*, preserving order."""
+    return tuple(item for item in atoms if isinstance(item, InequalityAtom))

@@ -1,0 +1,294 @@
+"""Conjunctive queries and unions of conjunctive queries.
+
+A :class:`ConjunctiveQuery` is the workhorse object of the whole system: the
+compilation of XBind queries produces one, the chase rewrites one, the
+backchase enumerates subqueries of one, and the in-memory engine evaluates
+one against a database.
+
+Queries are immutable; every transformation returns a new object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from .atoms import (
+    Atom,
+    EqualityAtom,
+    InequalityAtom,
+    RelationalAtom,
+    atom_variables,
+    relational_atoms,
+)
+from .terms import Constant, Term, Variable, VariableFactory, is_variable
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``name(head) :- body`` with optional inequalities.
+
+    ``head`` is a tuple of terms (usually variables, constants allowed).
+    ``body`` may contain relational, equality and inequality atoms.  The
+    query is *safe* when every head variable occurs in some relational atom
+    of the body or is equated (transitively) to one that does.
+    """
+
+    name: str
+    head: Tuple[Term, ...]
+    body: Tuple[Atom, ...]
+
+    def __init__(self, name: str, head: Sequence[Term], body: Sequence[Atom]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "head", tuple(head))
+        object.__setattr__(self, "body", tuple(body))
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def relational_body(self) -> Tuple[RelationalAtom, ...]:
+        """The relational atoms of the body, in order."""
+        return relational_atoms(self.body)
+
+    @property
+    def equalities(self) -> Tuple[EqualityAtom, ...]:
+        return tuple(a for a in self.body if isinstance(a, EqualityAtom))
+
+    @property
+    def inequalities(self) -> Tuple[InequalityAtom, ...]:
+        return tuple(a for a in self.body if isinstance(a, InequalityAtom))
+
+    def head_variables(self) -> Tuple[Variable, ...]:
+        """Head terms that are variables, de-duplicated, in order."""
+        seen: Dict[Variable, None] = {}
+        for item in self.head:
+            if is_variable(item):
+                seen.setdefault(item, None)
+        return tuple(seen)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """All variables of the query (head first, then body), de-duplicated."""
+        seen: Dict[Variable, None] = {}
+        for item in self.head:
+            if is_variable(item):
+                seen.setdefault(item, None)
+        for variable in atom_variables(self.body):
+            seen.setdefault(variable, None)
+        return tuple(seen)
+
+    def body_variables(self) -> Tuple[Variable, ...]:
+        return atom_variables(self.body)
+
+    def existential_variables(self) -> Tuple[Variable, ...]:
+        """Body variables that do not occur in the head."""
+        head_vars = set(self.head_variables())
+        return tuple(v for v in self.body_variables() if v not in head_vars)
+
+    def constants(self) -> Tuple[Constant, ...]:
+        seen: Dict[Constant, None] = {}
+        for item in self.head:
+            if not is_variable(item):
+                seen.setdefault(item, None)
+        for atom in self.relational_body:
+            for value in atom.constants():
+                seen.setdefault(value, None)
+        return tuple(seen)
+
+    def relation_names(self) -> FrozenSet[str]:
+        """The set of relation names mentioned in the body."""
+        return frozenset(a.relation for a in self.relational_body)
+
+    def is_safe(self) -> bool:
+        """Check range-restriction: every head variable appears in the body."""
+        body_vars = set(self.body_variables())
+        return all(v in body_vars for v in self.head_variables())
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Mapping[Term, Term]) -> "ConjunctiveQuery":
+        """Apply *mapping* to head and body, dropping trivial equalities."""
+        new_head = tuple(mapping.get(item, item) for item in self.head)
+        new_body = []
+        for atom in self.body:
+            replaced = atom.substitute(mapping)
+            if isinstance(replaced, EqualityAtom) and replaced.is_trivial():
+                continue
+            new_body.append(replaced)
+        return ConjunctiveQuery(self.name, new_head, new_body)
+
+    def with_body(self, body: Sequence[Atom]) -> "ConjunctiveQuery":
+        """Return a copy with the body replaced (same name and head)."""
+        return ConjunctiveQuery(self.name, self.head, body)
+
+    def with_name(self, name: str) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(name, self.head, self.body)
+
+    def add_atoms(self, atoms: Iterable[Atom]) -> "ConjunctiveQuery":
+        """Return a copy with *atoms* appended to the body (duplicates skipped)."""
+        existing = set(self.body)
+        new_body = list(self.body)
+        for atom in atoms:
+            if atom not in existing:
+                new_body.append(atom)
+                existing.add(atom)
+        return ConjunctiveQuery(self.name, self.head, new_body)
+
+    def dedupe(self) -> "ConjunctiveQuery":
+        """Remove duplicate body atoms while preserving first-occurrence order."""
+        seen = set()
+        new_body = []
+        for atom in self.body:
+            if atom not in seen:
+                new_body.append(atom)
+                seen.add(atom)
+        return ConjunctiveQuery(self.name, self.head, new_body)
+
+    def subquery(self, atoms: Sequence[RelationalAtom]) -> "ConjunctiveQuery":
+        """The subquery induced by *atoms*: same head, body restricted to them.
+
+        Inequality atoms whose variables are still covered are retained, as
+        they only filter results and are required for equivalence with the
+        original query.
+        """
+        kept = set(atoms)
+        covered = set(atom_variables(tuple(atoms)))
+        new_body = []
+        for atom in self.body:
+            if isinstance(atom, RelationalAtom):
+                if atom in kept:
+                    new_body.append(atom)
+            else:
+                if all(v in covered for v in atom.variables()):
+                    new_body.append(atom)
+        return ConjunctiveQuery(self.name, self.head, new_body)
+
+    def rename_apart(
+        self, factory: Optional[VariableFactory] = None, avoid: Iterable[str] = ()
+    ) -> Tuple["ConjunctiveQuery", Dict[Variable, Variable]]:
+        """Rename all variables to fresh ones; return the query and the mapping."""
+        if factory is None:
+            factory = VariableFactory(prefix="_r", used=avoid)
+        mapping: Dict[Variable, Variable] = {}
+        for variable in self.variables():
+            mapping[variable] = factory.fresh()
+        renamed = self.substitute(mapping)
+        return renamed, mapping
+
+    def normalize_equalities(self) -> "ConjunctiveQuery":
+        """Eliminate equality atoms by collapsing variables.
+
+        Variables equated to constants become that constant; variables
+        equated to variables are merged into a single representative.  An
+        equality between two distinct constants makes the query
+        unsatisfiable; in that case a query with an always-false body marker
+        is *not* produced -- instead a :class:`SchemaError` is raised, since
+        the compilation never generates such queries.
+        """
+        parent: Dict[Term, Term] = {}
+
+        def find(item: Term) -> Term:
+            root = item
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(item, item) != item:
+                parent[item], item = root, parent[item]
+            return root
+
+        def union(left: Term, right: Term) -> None:
+            root_left, root_right = find(left), find(right)
+            if root_left == root_right:
+                return
+            # Prefer constants as representatives, then head variables.
+            if isinstance(root_left, Constant) and isinstance(root_right, Constant):
+                raise SchemaError(
+                    f"unsatisfiable equality {root_left} = {root_right} in {self.name}"
+                )
+            if isinstance(root_right, Constant):
+                parent[root_left] = root_right
+            elif isinstance(root_left, Constant):
+                parent[root_right] = root_left
+            elif root_left in head_vars and root_right not in head_vars:
+                parent[root_right] = root_left
+            else:
+                parent[root_left] = root_right
+
+        head_vars = set(self.head_variables())
+        has_equalities = False
+        for atom in self.body:
+            if isinstance(atom, EqualityAtom):
+                has_equalities = True
+                union(atom.left, atom.right)
+        if not has_equalities:
+            return self
+        mapping = {}
+        for variable in self.variables():
+            representative = find(variable)
+            if representative != variable:
+                mapping[variable] = representative
+        collapsed = self.substitute(mapping)
+        body = [a for a in collapsed.body if not isinstance(a, EqualityAtom)]
+        return ConjunctiveQuery(self.name, collapsed.head, body).dedupe()
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        head_args = ", ".join(str(item) for item in self.head)
+        body_text = ", ".join(str(item) for item in self.body)
+        return f"{self.name}({head_args}) :- {body_text}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A union of conjunctive queries sharing the same head arity."""
+
+    name: str
+    disjuncts: Tuple[ConjunctiveQuery, ...]
+
+    def __init__(self, name: str, disjuncts: Sequence[ConjunctiveQuery]):
+        disjuncts = tuple(disjuncts)
+        if not disjuncts:
+            raise SchemaError("a union query needs at least one disjunct")
+        arity = len(disjuncts[0].head)
+        for query in disjuncts:
+            if len(query.head) != arity:
+                raise SchemaError(
+                    f"union {name}: head arity mismatch "
+                    f"({len(query.head)} vs {arity})"
+                )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "disjuncts", disjuncts)
+
+    @property
+    def arity(self) -> int:
+        return len(self.disjuncts[0].head)
+
+    def __iter__(self):
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def __str__(self) -> str:
+        return " UNION ".join(str(query) for query in self.disjuncts)
+
+
+def make_query(
+    name: str,
+    head: Sequence[Term],
+    body: Sequence[Atom],
+) -> ConjunctiveQuery:
+    """Build a conjunctive query and validate its safety."""
+    query = ConjunctiveQuery(name, head, body)
+    if not query.is_safe():
+        missing = [
+            str(v) for v in query.head_variables() if v not in set(query.body_variables())
+        ]
+        raise SchemaError(f"unsafe query {name}: head variables {missing} not in body")
+    return query

@@ -1,0 +1,19 @@
+"""Schema specialization: tree patterns as virtual relations (paper section 5)."""
+
+from .inlining import derive_specializations, derive_specializations_from_instance
+from .mapping import SpecializationField, SpecializationMapping
+from .specializer import (
+    Specializer,
+    expand_specialized_atoms,
+    materialize_specialization,
+)
+
+__all__ = [
+    "SpecializationField",
+    "SpecializationMapping",
+    "Specializer",
+    "derive_specializations",
+    "derive_specializations_from_instance",
+    "expand_specialized_atoms",
+    "materialize_specialization",
+]

@@ -1,0 +1,81 @@
+"""Deriving specialization mappings automatically (hybrid-inlining style).
+
+Paper section 5.1: specializations can be written by a domain expert or
+inferred by the same tools that pick relational storage for XML (STORED,
+hybrid inlining).  Corollary 5.2 notes that hybrid-inlining mappings satisfy
+the restrictions that make specialization cheap.  This module implements the
+inference: starting from a :class:`~repro.xmlmodel.dtd.DocumentType`
+(declared or inferred from an instance), every element type whose
+single-occurrence descendants form a non-trivial pattern receives a
+specialized relation, with one column per inlined text-carrying descendant
+reached exclusively through single-occurrence edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..xmlmodel.dtd import DocumentType, Occurrence
+from ..xmlmodel.model import XMLDocument
+from .mapping import SpecializationField, SpecializationMapping
+
+
+def _inline_fields(
+    document_type: DocumentType,
+    element: str,
+    prefix: Tuple[str, ...] = (),
+    seen: Optional[frozenset] = None,
+) -> List[SpecializationField]:
+    """Collect the text-carrying descendants reachable via single-occurrence edges."""
+    if seen is None:
+        seen = frozenset((element,))
+    fields: List[SpecializationField] = []
+    declaration = document_type.element(element)
+    for child in declaration.single_children():
+        if child in seen or child not in document_type:
+            continue
+        child_declaration = document_type.element(child)
+        path = prefix + (child,)
+        if child_declaration.has_text and not child_declaration.children:
+            name = "_".join(path)
+            fields.append(SpecializationField(name, path))
+        elif child_declaration.children:
+            fields.extend(
+                _inline_fields(document_type, child, path, seen | {child})
+            )
+    return fields
+
+
+def derive_specializations(
+    document_type: DocumentType,
+    document_name: str,
+    minimum_fields: int = 2,
+    relation_prefix: str = "spec",
+) -> List[SpecializationMapping]:
+    """Derive specialization mappings for every sufficiently regular element type.
+
+    ``minimum_fields`` filters out trivial patterns (a single text child is
+    not worth a relation of its own -- the GReX atoms are already as small).
+    """
+    mappings: List[SpecializationMapping] = []
+    for element in document_type.element_names:
+        fields = _inline_fields(document_type, element)
+        if len(fields) < minimum_fields:
+            continue
+        relation = f"{relation_prefix}_{element}"
+        mappings.append(
+            SpecializationMapping(relation, document_name, element, fields)
+        )
+    return mappings
+
+
+def derive_specializations_from_instance(
+    document: XMLDocument,
+    minimum_fields: int = 2,
+    relation_prefix: str = "spec",
+) -> List[SpecializationMapping]:
+    """Infer a document type from *document* and derive specializations from it."""
+    document_type = DocumentType.infer(document)
+    return derive_specializations(
+        document_type, document.name, minimum_fields, relation_prefix
+    )

@@ -1,0 +1,93 @@
+"""Schema-specialization mappings: XML tree patterns as virtual relations.
+
+Paper section 5: when part of a document is regular (e.g. every ``author``
+element has a ``name/first``, ``name/last``, ``address/street``, ... with
+exactly one occurrence each), the whole pattern can be modelled as a single
+tuple of a virtual relation ``Author(id, pid, first, last, street, ...)``.
+Replacing the corresponding GReX atoms in queries and constraints by one
+specialized atom makes both dramatically smaller, which speeds up the chase
+(whose steps are NP-hard in the constraint size) and the backchase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SpecializationError
+
+
+@dataclass(frozen=True)
+class SpecializationField:
+    """One column of a specialized relation.
+
+    ``path`` is the chain of child element tags descended from the
+    specialized element; the column holds the text content of the element at
+    the end of the chain.  The paper's ``Author`` example has fields such as
+    ``("first", ("name", "first"))`` and ``("city", ("address", "city"))``.
+    """
+
+    name: str
+    path: Tuple[str, ...]
+
+    def __init__(self, name: str, path: Sequence[str]):
+        path = tuple(path)
+        if not path:
+            raise SpecializationError(f"field {name!r}: empty path")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "path", path)
+
+
+@dataclass(frozen=True)
+class SpecializationMapping:
+    """Maps occurrences of an element tag (in one document) to a virtual relation.
+
+    The relation's columns are ``(id, pid, field_1, ..., field_n)``: the
+    identity of the specialized element, the identity of its parent, and the
+    text values of the fields.  The mapping is only sound when the document
+    is *regular* for this pattern: every element with the given tag has
+    exactly one occurrence of every field path (this is what a DTD/XML
+    Schema or the inference of :class:`~repro.xmlmodel.dtd.DocumentType`
+    establishes).
+    """
+
+    relation: str
+    document: str
+    element_tag: str
+    fields: Tuple[SpecializationField, ...]
+
+    def __init__(
+        self,
+        relation: str,
+        document: str,
+        element_tag: str,
+        fields: Sequence[SpecializationField],
+    ):
+        fields = tuple(fields)
+        names = [field.name for field in fields]
+        if len(set(names)) != len(names):
+            raise SpecializationError(
+                f"specialization {relation}: duplicate field names"
+            )
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "document", document)
+        object.__setattr__(self, "element_tag", element_tag)
+        object.__setattr__(self, "fields", fields)
+
+    @property
+    def arity(self) -> int:
+        return 2 + len(self.fields)
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return ("id", "pid") + tuple(field.name for field in self.fields)
+
+    def field_index(self, name: str) -> int:
+        for index, field in enumerate(self.fields):
+            if field.name == name:
+                return index
+        raise SpecializationError(f"specialization {self.relation}: no field {name!r}")
+
+    def __str__(self) -> str:
+        columns = ", ".join(self.attributes)
+        return f"{self.relation}({columns}) ~ <{self.element_tag}> in {self.document}"

@@ -1,0 +1,310 @@
+"""Specializing queries and dependencies, and post-processing the results.
+
+Given a set of :class:`SpecializationMapping` objects, the specializer
+rewrites conjunctions of GReX atoms: every occurrence of a specialized
+element pattern (its ``tag`` atom, the ``child`` edge from its parent and
+the child/tag/text chains of its fields) is collapsed into a single atom of
+the virtual specialized relation.  Applied to the compiled client query and
+to every DED of the configuration, this yields the smaller reformulation
+problem of paper Figure 7; the reformulation found there is finally
+post-processed by expanding any remaining specialized atoms back into GReX
+atoms.
+
+The rewrite is purely syntactic and runs in time polynomial in the query
+size, which is the engineering content of Proposition 5.1 / Corollary 5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..compile.grex import GrexSchema
+from ..errors import SpecializationError
+from ..logical.atoms import Atom, EqualityAtom, InequalityAtom, RelationalAtom
+from ..logical.dependencies import DED, Disjunct
+from ..logical.queries import ConjunctiveQuery
+from ..logical.terms import Constant, Term, Variable, VariableFactory, is_variable
+from ..xmlmodel.model import XMLDocument
+from .mapping import SpecializationMapping
+
+
+class Specializer:
+    """Rewrites GReX conjunctions using a set of specialization mappings."""
+
+    def __init__(self, mappings: Sequence[SpecializationMapping]):
+        self.mappings = tuple(mappings)
+        self._schemas: Dict[str, GrexSchema] = {
+            mapping.document: GrexSchema(mapping.document) for mapping in mappings
+        }
+
+    # ------------------------------------------------------------------
+    def specialized_relation_names(self) -> Tuple[str, ...]:
+        return tuple(mapping.relation for mapping in self.mappings)
+
+    def specialize_query(self, query: ConjunctiveQuery) -> ConjunctiveQuery:
+        """Specialize the body of a conjunctive query."""
+        atoms = self._specialize_atoms(list(query.body), [v.name for v in query.variables()])
+        return ConjunctiveQuery(query.name, query.head, atoms)
+
+    def specialize_dependency(self, dependency: DED) -> DED:
+        """Specialize the premise and every disjunct of a DED."""
+        used = [v.name for v in dependency.universal_variables()]
+        used += [v.name for v in dependency.existential_variables()]
+        premise = self._specialize_atoms(list(dependency.premise), used)
+        disjuncts = [
+            Disjunct(self._specialize_atoms(list(d.atoms), used))
+            for d in dependency.disjuncts
+        ]
+        return DED(dependency.name, premise, disjuncts)
+
+    def specialize_dependencies(self, dependencies: Sequence[DED]) -> List[DED]:
+        """Specialize every dependency and add the specialized-relation keys.
+
+        The ``id`` column of a specialized relation identifies the element it
+        stands for, so it functionally determines every other column (this is
+        the specialized image of the TIX key axioms on ``tag``/``text``/
+        ``child``); the chase needs these dependencies to merge tuples coming
+        from different views of the same element.
+        """
+        specialized = [self.specialize_dependency(d) for d in dependencies]
+        specialized.extend(self.mapping_key_dependencies())
+        return specialized
+
+    def mapping_key_dependencies(self) -> List[DED]:
+        """Key DEDs stating that ``id`` determines every specialized column."""
+        dependencies: List[DED] = []
+        for mapping in self.mappings:
+            identifier = Variable("_id")
+            left = [Variable(f"_l{i}") for i in range(mapping.arity - 1)]
+            right = [Variable(f"_r{i}") for i in range(mapping.arity - 1)]
+            premise = [
+                RelationalAtom(mapping.relation, (identifier, *left)),
+                RelationalAtom(mapping.relation, (identifier, *right)),
+            ]
+            equalities = [EqualityAtom(l, r) for l, r in zip(left, right)]
+            dependencies.append(
+                DED(f"{mapping.relation}_id_key", premise, [Disjunct(equalities)])
+            )
+        return dependencies
+
+    # ------------------------------------------------------------------
+    def _specialize_atoms(
+        self, atoms: List[Atom], used_names: Sequence[str]
+    ) -> List[Atom]:
+        factory = VariableFactory(prefix="_s", used=list(used_names))
+        for mapping in self.mappings:
+            atoms = self._apply_mapping(mapping, atoms, factory)
+        return atoms
+
+    def _apply_mapping(
+        self,
+        mapping: SpecializationMapping,
+        atoms: List[Atom],
+        factory: VariableFactory,
+    ) -> List[Atom]:
+        schema = self._schemas[mapping.document]
+        tag_rel = schema.relation("tag")
+        child_rel = schema.relation("child")
+        text_rel = schema.relation("text")
+        desc_rel = schema.relation("desc")
+        root_rel = schema.relation("root")
+
+        relational = [a for a in atoms if isinstance(a, RelationalAtom)]
+        others = [a for a in atoms if not isinstance(a, RelationalAtom)]
+
+        # Index helpers over the current atom list.
+        def find_tag(node: Term, tag: str) -> Optional[RelationalAtom]:
+            for atom in relational:
+                if (
+                    atom.relation == tag_rel
+                    and atom.terms[0] == node
+                    and atom.terms[1] == Constant(tag)
+                ):
+                    return atom
+            return None
+
+        def children_of(node: Term) -> List[RelationalAtom]:
+            return [
+                atom
+                for atom in relational
+                if atom.relation == child_rel and atom.terms[0] == node
+            ]
+
+        def text_of(node: Term) -> Optional[RelationalAtom]:
+            for atom in relational:
+                if atom.relation == text_rel and atom.terms[0] == node:
+                    return atom
+            return None
+
+        # Find specialized element occurrences: variables tagged with the
+        # mapping's element tag.
+        consumed: Set[RelationalAtom] = set()
+        replacements: List[RelationalAtom] = []
+        element_atoms = [
+            atom
+            for atom in relational
+            if atom.relation == tag_rel and atom.terms[1] == Constant(mapping.element_tag)
+        ]
+        for tag_atom in element_atoms:
+            element = tag_atom.terms[0]
+            locally_consumed: Set[RelationalAtom] = {tag_atom}
+            # Parent edge (pid column).
+            parent_term: Optional[Term] = None
+            for atom in relational:
+                if atom.relation == child_rel and atom.terms[1] == element:
+                    parent_term = atom.terms[0]
+                    locally_consumed.add(atom)
+                    break
+            if parent_term is None:
+                parent_term = factory.fresh("p")
+            # Field chains.
+            field_values: List[Term] = []
+            for field in mapping.fields:
+                value, chain = self._match_field_chain(
+                    element, field.path, find_tag, children_of, text_of
+                )
+                if value is None:
+                    field_values.append(factory.fresh("f"))
+                else:
+                    field_values.append(value)
+                    locally_consumed.update(chain)
+            replacements.append(
+                RelationalAtom(
+                    mapping.relation,
+                    (element, parent_term) + tuple(field_values),
+                )
+            )
+            consumed.update(locally_consumed)
+
+        if not replacements:
+            return atoms
+
+        remaining = [a for a in relational if a not in consumed]
+        # Drop absolute-navigation prefixes to specialized elements:
+        # ``root(r), desc(r, x)`` where x is a specialized element and r is
+        # not otherwise needed (every element is a descendant of the root).
+        specialized_nodes = {atom.terms[0] for atom in replacements}
+        remaining = self._drop_root_prefixes(
+            remaining, specialized_nodes, root_rel, desc_rel
+        )
+        return remaining + replacements + others
+
+    @staticmethod
+    def _drop_root_prefixes(
+        atoms: List[RelationalAtom],
+        specialized_nodes: Set[Term],
+        root_rel: str,
+        desc_rel: str,
+    ) -> List[RelationalAtom]:
+        dropped_desc = [
+            atom
+            for atom in atoms
+            if atom.relation == desc_rel and atom.terms[1] in specialized_nodes
+        ]
+        candidates = [a for a in atoms if a not in dropped_desc]
+        # A root atom is dropped when its variable no longer occurs anywhere else.
+        used_terms: Set[Term] = set()
+        for atom in candidates:
+            if atom.relation != root_rel:
+                used_terms.update(atom.terms)
+        result = []
+        for atom in candidates:
+            if atom.relation == root_rel and atom.terms[0] not in used_terms:
+                continue
+            result.append(atom)
+        return result
+
+    @staticmethod
+    def _match_field_chain(
+        element: Term,
+        path: Tuple[str, ...],
+        find_tag,
+        children_of,
+        text_of,
+    ) -> Tuple[Optional[Term], List[RelationalAtom]]:
+        """Match ``child/tag`` chains for a field; return (text variable, atoms)."""
+        current = element
+        chain: List[RelationalAtom] = []
+        for tag in path:
+            matched = None
+            for child_atom in children_of(current):
+                node = child_atom.terms[1]
+                tag_atom = find_tag(node, tag)
+                if tag_atom is not None:
+                    matched = (child_atom, tag_atom, node)
+                    break
+            if matched is None:
+                return None, []
+            child_atom, tag_atom, node = matched
+            chain.extend([child_atom, tag_atom])
+            current = node
+        text_atom = text_of(current)
+        if text_atom is None:
+            return None, []
+        chain.append(text_atom)
+        return text_atom.terms[1], chain
+
+
+# ----------------------------------------------------------------------
+# Post-processing and data materialization
+# ----------------------------------------------------------------------
+def expand_specialized_atoms(
+    query: ConjunctiveQuery,
+    mappings: Sequence[SpecializationMapping],
+) -> ConjunctiveQuery:
+    """Replace specialized atoms in a reformulation with the GReX pattern.
+
+    This is the post-processing step of paper Figure 7: reformulations over
+    ``spec(S)`` are translated back to the original XML entities so they can
+    be shipped to the native XML store.
+    """
+    by_relation = {mapping.relation: mapping for mapping in mappings}
+    factory = VariableFactory(prefix="_e", used=[v.name for v in query.variables()])
+    new_body: List[Atom] = []
+    for atom in query.body:
+        if not isinstance(atom, RelationalAtom) or atom.relation not in by_relation:
+            new_body.append(atom)
+            continue
+        mapping = by_relation[atom.relation]
+        schema = GrexSchema(mapping.document)
+        element, parent = atom.terms[0], atom.terms[1]
+        new_body.append(schema.tag(element, mapping.element_tag))
+        new_body.append(schema.child(parent, element))
+        for field, value in zip(mapping.fields, atom.terms[2:]):
+            current = element
+            for tag in field.path:
+                node = factory.fresh("n")
+                new_body.append(schema.child(current, node))
+                new_body.append(schema.tag(node, tag))
+                current = node
+            new_body.append(schema.text(current, value))
+    return ConjunctiveQuery(query.name, query.head, new_body)
+
+
+def materialize_specialization(
+    mapping: SpecializationMapping, document: XMLDocument
+) -> List[Tuple[object, ...]]:
+    """Compute the extent of a specialized relation over an instance document."""
+    rows: List[Tuple[object, ...]] = []
+    for node in document.nodes():
+        if node.tag != mapping.element_tag:
+            continue
+        parent_id = node.parent.node_id if node.parent is not None else (
+            document.document_node_id
+        )
+        values: List[object] = [node.node_id, parent_id]
+        complete = True
+        for field in mapping.fields:
+            current = node
+            for tag in field.path:
+                matches = current.child_elements(tag)
+                if not matches:
+                    complete = False
+                    break
+                current = matches[0]
+            if not complete:
+                break
+            values.append(current.text_content())
+        if complete:
+            rows.append(tuple(values))
+    return rows

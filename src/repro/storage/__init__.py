@@ -1,0 +1,17 @@
+"""In-memory relational storage engine and query execution."""
+
+from .evaluation import evaluate_query, evaluate_union, materialize_view
+from .relational_db import InMemoryDatabase, Table
+from .sql import render_sql, render_union_sql
+from .statistics import TableStatistics
+
+__all__ = [
+    "InMemoryDatabase",
+    "Table",
+    "TableStatistics",
+    "evaluate_query",
+    "evaluate_union",
+    "materialize_view",
+    "render_sql",
+    "render_union_sql",
+]

@@ -1,0 +1,170 @@
+"""Evaluation of conjunctive queries over the in-memory database.
+
+The evaluator performs a left-to-right sequence of hash joins over the
+relational atoms of the query body, then filters with inequality atoms and
+projects onto the head.  The same machinery is reused (over *symbolic*
+instances) by the set-oriented chase implementation; here it runs over real
+data to execute reformulations and to verify their equivalence in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import EvaluationError
+from ..logical.atoms import EqualityAtom, InequalityAtom, RelationalAtom
+from ..logical.queries import ConjunctiveQuery, UnionQuery
+from ..logical.terms import Constant, Term, Variable, is_variable
+from .relational_db import InMemoryDatabase, Row
+
+Binding = Dict[Variable, object]
+
+
+def _match_atom(atom: RelationalAtom, row: Row, binding: Binding) -> Optional[Binding]:
+    """Try to extend *binding* so the atom's terms match *row*; return None on clash."""
+    extended = dict(binding)
+    for term, value in zip(atom.terms, row):
+        if is_variable(term):
+            bound = extended.get(term, _MISSING)
+            if bound is _MISSING:
+                extended[term] = value
+            elif bound != value:
+                return None
+        else:
+            if term.value != value:
+                return None
+    return extended
+
+
+_MISSING = object()
+
+
+def _atom_join_key(atom: RelationalAtom, bound_vars: Iterable[Variable]) -> List[int]:
+    """Positions of the atom's terms that are already bound (or constants)."""
+    bound = set(bound_vars)
+    positions = []
+    for index, term in enumerate(atom.terms):
+        if not is_variable(term) or term in bound:
+            positions.append(index)
+    return positions
+
+
+def evaluate_query(
+    query: ConjunctiveQuery,
+    database: InMemoryDatabase,
+    distinct: bool = True,
+) -> List[Row]:
+    """Evaluate *query* over *database* and return the list of head tuples.
+
+    The join order is the textual order of the body atoms; for each atom a
+    hash index is built on the positions already bound by earlier atoms,
+    giving hash-join behaviour without materializing intermediate tables.
+    """
+    query = query.normalize_equalities()
+    bindings: List[Binding] = [{}]
+    bound_vars: List[Variable] = []
+    for atom in query.relational_body:
+        if not database.has_table(atom.relation):
+            raise EvaluationError(
+                f"query {query.name} references unknown table {atom.relation!r}"
+            )
+        rows = database.table(atom.relation).rows
+        key_positions = _atom_join_key(atom, bound_vars)
+        index: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in rows:
+            key = tuple(row[position] for position in key_positions)
+            index.setdefault(key, []).append(row)
+        new_bindings: List[Binding] = []
+        for binding in bindings:
+            key_values = []
+            for position in key_positions:
+                term = atom.terms[position]
+                if is_variable(term):
+                    key_values.append(binding[term])
+                else:
+                    key_values.append(term.value)
+            for row in index.get(tuple(key_values), ()):  # hash probe
+                extended = _match_atom(atom, row, binding)
+                if extended is not None:
+                    new_bindings.append(extended)
+        bindings = new_bindings
+        for term in atom.terms:
+            if is_variable(term) and term not in bound_vars:
+                bound_vars.append(term)
+        if not bindings:
+            break
+
+    results: List[Row] = []
+    seen = set()
+    for binding in bindings:
+        if not _satisfies_filters(query, binding):
+            continue
+        row = _project_head(query, binding)
+        if distinct:
+            if row in seen:
+                continue
+            seen.add(row)
+        results.append(row)
+    return results
+
+
+def _satisfies_filters(query: ConjunctiveQuery, binding: Binding) -> bool:
+    for atom in query.body:
+        if isinstance(atom, InequalityAtom):
+            if _term_value(atom.left, binding) == _term_value(atom.right, binding):
+                return False
+        elif isinstance(atom, EqualityAtom):
+            if _term_value(atom.left, binding) != _term_value(atom.right, binding):
+                return False
+    return True
+
+
+def _term_value(term: Term, binding: Binding) -> object:
+    if is_variable(term):
+        if term not in binding:
+            raise EvaluationError(f"unbound variable {term} in filter")
+        return binding[term]
+    return term.value
+
+
+def _project_head(query: ConjunctiveQuery, binding: Binding) -> Row:
+    values = []
+    for term in query.head:
+        values.append(_term_value(term, binding))
+    return tuple(values)
+
+
+def evaluate_union(
+    union: UnionQuery, database: InMemoryDatabase, distinct: bool = True
+) -> List[Row]:
+    """Evaluate a union of conjunctive queries (set semantics when *distinct*)."""
+    results: List[Row] = []
+    seen = set()
+    for disjunct in union:
+        for row in evaluate_query(disjunct, database, distinct=distinct):
+            if distinct:
+                if row in seen:
+                    continue
+                seen.add(row)
+            results.append(row)
+    return results
+
+
+def materialize_view(
+    name: str,
+    query: ConjunctiveQuery,
+    database: InMemoryDatabase,
+) -> None:
+    """Evaluate *query* and store its result as table *name* in *database*.
+
+    This is how the redundant storage of the paper's scenarios is created:
+    materialized views are ordinary tables whose contents are the result of
+    their defining queries over the base data.
+    """
+    rows = evaluate_query(query, database)
+    if database.has_table(name):
+        table = database.table(name)
+        table.clear()
+    else:
+        table = database.create_table(name, len(query.head))
+    table.insert_many(rows)

@@ -1,0 +1,118 @@
+"""A small in-memory relational database.
+
+MARS itself is middleware: it reformulates queries and ships them to real
+engines.  For the reproduction we need an actual substrate to execute both
+the original and the reformulated queries, so correctness of reformulations
+can be verified end-to-end and execution-time savings can be measured.  This
+module provides that substrate: named tables holding tuples, with optional
+attribute names taken from a :class:`~repro.logical.schema.RelationalSchema`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import EvaluationError, SchemaError
+from ..logical.schema import Relation, RelationalSchema
+
+Row = Tuple[object, ...]
+
+
+class Table:
+    """A named table: an ordered multiset of fixed-arity tuples."""
+
+    def __init__(self, name: str, arity: int, attributes: Optional[Sequence[str]] = None):
+        if attributes is not None and len(attributes) != arity:
+            raise SchemaError(f"table {name}: attribute count does not match arity")
+        self.name = name
+        self.arity = arity
+        self.attributes = tuple(attributes) if attributes else tuple(
+            f"c{i}" for i in range(arity)
+        )
+        self._rows: List[Row] = []
+
+    def insert(self, row: Sequence[object]) -> None:
+        """Append *row*, validating its arity."""
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise EvaluationError(
+                f"table {self.name}: expected {self.arity} values, got {len(row)}"
+            )
+        self._rows.append(row)
+
+    def insert_many(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        return tuple(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __str__(self) -> str:
+        return f"{self.name}[{len(self)} rows]"
+
+
+class InMemoryDatabase:
+    """A collection of named tables, optionally validated against a schema."""
+
+    def __init__(self, schema: Optional[RelationalSchema] = None):
+        self.schema = schema
+        self._tables: Dict[str, Table] = {}
+        if schema is not None:
+            for relation in schema.relations:
+                self.create_table(relation.name, relation.arity, relation.attributes)
+
+    # ------------------------------------------------------------------
+    def create_table(
+        self, name: str, arity: int, attributes: Optional[Sequence[str]] = None
+    ) -> Table:
+        if name in self._tables:
+            raise SchemaError(f"table {name} already exists")
+        table = Table(name, arity, attributes)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError as error:
+            raise EvaluationError(f"unknown table {name!r}") from error
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def insert(self, name: str, row: Sequence[object]) -> None:
+        self.table(name).insert(row)
+
+    def insert_many(self, name: str, rows: Iterable[Sequence[object]]) -> None:
+        self.table(name).insert_many(rows)
+
+    def cardinality(self, name: str) -> int:
+        """Number of rows in *name* (0 if the table does not exist)."""
+        if name not in self._tables:
+            return 0
+        return len(self._tables[name])
+
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(self._tables)
+
+    def cardinalities(self) -> Dict[str, int]:
+        """Mapping of table name to row count, used by the default cost model."""
+        return {name: len(table) for name, table in self._tables.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{name}({len(table)})" for name, table in self._tables.items())
+        return f"InMemoryDatabase[{parts}]"

@@ -1,0 +1,100 @@
+"""Rendering of conjunctive queries as SQL text.
+
+The reformulations MARS produces over the relational part of the
+proprietary storage are ultimately shipped to an RDBMS.  This module turns
+a :class:`~repro.logical.queries.ConjunctiveQuery` into a ``SELECT``
+statement, which is the "executable reformulation (SQL)" artifact of the
+paper's Figure 2.  The in-memory engine does not parse this SQL; it exists
+so users (and the examples) can see exactly what would be sent to a real
+database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..logical.atoms import EqualityAtom, InequalityAtom, RelationalAtom
+from ..logical.queries import ConjunctiveQuery, UnionQuery
+from ..logical.schema import RelationalSchema
+from ..logical.terms import Term, Variable, is_variable
+
+
+def _attribute_name(
+    schema: Optional[RelationalSchema], relation: str, position: int
+) -> str:
+    if schema is not None and relation in schema:
+        return schema.relation(relation).attributes[position]
+    return f"c{position}"
+
+
+def render_sql(
+    query: ConjunctiveQuery, schema: Optional[RelationalSchema] = None
+) -> str:
+    """Render *query* as a SQL SELECT statement.
+
+    Each relational atom becomes an aliased table in the FROM clause;
+    repeated variables become equality predicates in the WHERE clause;
+    constants become equality predicates against literals; the head becomes
+    the SELECT list.
+    """
+    query = query.normalize_equalities()
+    aliases: List[Tuple[str, str]] = []
+    variable_columns: Dict[Variable, str] = {}
+    predicates: List[str] = []
+
+    for index, atom in enumerate(query.relational_body):
+        alias = f"t{index}"
+        aliases.append((atom.relation, alias))
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.{_attribute_name(schema, atom.relation, position)}"
+            if is_variable(term):
+                if term in variable_columns:
+                    predicates.append(f"{variable_columns[term]} = {column}")
+                else:
+                    variable_columns[term] = column
+            else:
+                predicates.append(f"{column} = {_literal(term.value)}")
+
+    for atom in query.body:
+        if isinstance(atom, InequalityAtom):
+            predicates.append(
+                f"{_term_sql(atom.left, variable_columns)} <> "
+                f"{_term_sql(atom.right, variable_columns)}"
+            )
+        elif isinstance(atom, EqualityAtom):
+            predicates.append(
+                f"{_term_sql(atom.left, variable_columns)} = "
+                f"{_term_sql(atom.right, variable_columns)}"
+            )
+
+    select_items = []
+    for position, term in enumerate(query.head):
+        select_items.append(f"{_term_sql(term, variable_columns)} AS h{position}")
+    select_clause = "SELECT DISTINCT " + ", ".join(select_items) if select_items else "SELECT DISTINCT 1"
+    from_clause = "FROM " + ", ".join(f"{rel} {alias}" for rel, alias in aliases)
+    statement = f"{select_clause}\n{from_clause}"
+    if predicates:
+        statement += "\nWHERE " + "\n  AND ".join(predicates)
+    return statement
+
+
+def render_union_sql(
+    union: UnionQuery, schema: Optional[RelationalSchema] = None
+) -> str:
+    """Render a union of conjunctive queries as SQL with UNION."""
+    return "\nUNION\n".join(render_sql(disjunct, schema) for disjunct in union)
+
+
+def _term_sql(term: Term, variable_columns: Dict[Variable, str]) -> str:
+    if is_variable(term):
+        if term in variable_columns:
+            return variable_columns[term]
+        return f"/* unbound {term} */ NULL"
+    return _literal(term.value)
+
+
+def _literal(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)

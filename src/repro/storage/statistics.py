@@ -1,0 +1,57 @@
+"""Cardinality statistics used by the plug-in cost estimators.
+
+MARS compares candidate reformulations with a *plug-in* cost estimator
+(paper Figure 2).  The estimators shipped with the reproduction consume a
+:class:`TableStatistics` object that records per-relation cardinalities and
+optional per-relation access costs (e.g. native-XML navigation being more
+expensive than a relational scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from .relational_db import InMemoryDatabase
+
+DEFAULT_CARDINALITY = 1000.0
+
+
+@dataclass
+class TableStatistics:
+    """Per-relation cardinalities and access-cost weights."""
+
+    cardinalities: Dict[str, float] = field(default_factory=dict)
+    access_weights: Dict[str, float] = field(default_factory=dict)
+    default_cardinality: float = DEFAULT_CARDINALITY
+    default_weight: float = 1.0
+
+    @classmethod
+    def from_database(
+        cls,
+        database: InMemoryDatabase,
+        access_weights: Optional[Mapping[str, float]] = None,
+    ) -> "TableStatistics":
+        """Collect cardinalities from an in-memory database."""
+        stats = cls(cardinalities=dict(database.cardinalities()))
+        if access_weights:
+            stats.access_weights.update(access_weights)
+        return stats
+
+    def cardinality(self, relation: str) -> float:
+        """Estimated number of tuples in *relation*."""
+        return float(self.cardinalities.get(relation, self.default_cardinality))
+
+    def weight(self, relation: str) -> float:
+        """Access-cost multiplier for *relation* (native XML relations cost more)."""
+        return float(self.access_weights.get(relation, self.default_weight))
+
+    def set_cardinality(self, relation: str, value: float) -> None:
+        self.cardinalities[relation] = float(value)
+
+    def set_weight(self, relation: str, value: float) -> None:
+        self.access_weights[relation] = float(value)
+
+    def scan_cost(self, relation: str) -> float:
+        """Cost of a full scan of *relation* under the weights."""
+        return self.cardinality(relation) * self.weight(relation)

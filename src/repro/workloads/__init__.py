@@ -1,0 +1,15 @@
+"""Workload generators: the paper's experimental configurations."""
+
+from . import medical, star, xmark
+from .datagen import SyntheticDataGenerator
+from .star import StarParameters
+from .xmark import XMarkParameters
+
+__all__ = [
+    "StarParameters",
+    "SyntheticDataGenerator",
+    "XMarkParameters",
+    "medical",
+    "star",
+    "xmark",
+]

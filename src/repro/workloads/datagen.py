@@ -1,0 +1,43 @@
+"""Deterministic synthetic data generation helpers for the workloads.
+
+All generators are seeded so that test runs and benchmark runs are
+reproducible; no global random state is touched.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+class SyntheticDataGenerator:
+    """A small façade over :mod:`random` with workload-friendly helpers."""
+
+    def __init__(self, seed: int = 0):
+        self._random = random.Random(seed)
+
+    def integer(self, low: int, high: int) -> int:
+        """A uniform integer in ``[low, high]`` (inclusive)."""
+        return self._random.randint(low, high)
+
+    def token(self, prefix: str, width: int = 6) -> str:
+        """A short pseudo-random identifier with the given prefix."""
+        value = self._random.randrange(10 ** width)
+        return f"{prefix}_{value:0{width}d}"
+
+    def choice(self, items: Sequence):
+        return self._random.choice(list(items))
+
+    def sample(self, items: Sequence, count: int) -> List:
+        items = list(items)
+        count = min(count, len(items))
+        return self._random.sample(items, count)
+
+    def words(self, count: int, vocabulary: Sequence[str] = ()) -> str:
+        """A snippet of text built from a vocabulary (for notes/descriptions)."""
+        if not vocabulary:
+            vocabulary = (
+                "auction", "reserve", "bidder", "rare", "vintage", "mint",
+                "shipping", "payment", "seller", "warranty", "offer", "lot",
+            )
+        return " ".join(self.choice(vocabulary) for _ in range(count))

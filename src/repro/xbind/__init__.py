@@ -1,0 +1,7 @@
+"""XBind queries: navigation part of XQueries and their direct evaluation."""
+
+from .atoms import PathAtom
+from .evaluation import MixedStorage, evaluate_xbind
+from .query import XBindQuery, make_xbind
+
+__all__ = ["MixedStorage", "PathAtom", "XBindQuery", "evaluate_xbind", "make_xbind"]

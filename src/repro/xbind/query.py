@@ -1,0 +1,111 @@
+"""XBind queries: the navigation part of XQueries, in conjunctive-query form.
+
+Paper section 2.1 introduces XBind queries as the internal notation for the
+navigation/binding phase of an XQuery: a head returning a tuple of
+variables, and a body of path predicates, relational atoms and
+(in)equalities.  Client queries, views and integrity constraints are all
+expressed with the same kind of bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import SchemaError
+from ..logical.atoms import EqualityAtom, InequalityAtom, RelationalAtom
+from ..logical.terms import Term, Variable, is_variable
+
+from .atoms import PathAtom
+
+XBindAtom = Union[PathAtom, RelationalAtom, EqualityAtom, InequalityAtom]
+
+
+@dataclass(frozen=True)
+class XBindQuery:
+    """A conjunctive query whose body may contain XPath-defined predicates."""
+
+    name: str
+    head: Tuple[Term, ...]
+    body: Tuple[XBindAtom, ...]
+
+    def __init__(self, name: str, head: Sequence[Term], body: Sequence[XBindAtom]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "head", tuple(head))
+        object.__setattr__(self, "body", tuple(body))
+
+    # ------------------------------------------------------------------
+    @property
+    def path_atoms(self) -> Tuple[PathAtom, ...]:
+        return tuple(a for a in self.body if isinstance(a, PathAtom))
+
+    @property
+    def relational_atoms(self) -> Tuple[RelationalAtom, ...]:
+        return tuple(a for a in self.body if isinstance(a, RelationalAtom))
+
+    @property
+    def filters(self) -> Tuple[Union[EqualityAtom, InequalityAtom], ...]:
+        return tuple(
+            a for a in self.body if isinstance(a, (EqualityAtom, InequalityAtom))
+        )
+
+    def head_variables(self) -> Tuple[Variable, ...]:
+        seen: Dict[Variable, None] = {}
+        for item in self.head:
+            if is_variable(item):
+                seen.setdefault(item, None)
+        return tuple(seen)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: Dict[Variable, None] = {}
+        for item in self.head:
+            if is_variable(item):
+                seen.setdefault(item, None)
+        for atom in self.body:
+            for variable in atom.variables():
+                seen.setdefault(variable, None)
+        return tuple(seen)
+
+    def is_safe(self) -> bool:
+        body_variables = set()
+        for atom in self.body:
+            body_variables.update(atom.variables())
+        return all(v in body_variables for v in self.head_variables())
+
+    def documents(self) -> Tuple[str, ...]:
+        """Names of the documents explicitly referenced by absolute path atoms."""
+        seen: Dict[str, None] = {}
+        for atom in self.path_atoms:
+            if atom.document:
+                seen.setdefault(atom.document, None)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Mapping[Term, Term]) -> "XBindQuery":
+        head = tuple(mapping.get(item, item) for item in self.head)
+        body = tuple(atom.substitute(mapping) for atom in self.body)
+        return XBindQuery(self.name, head, body)
+
+    def with_name(self, name: str) -> "XBindQuery":
+        return XBindQuery(name, self.head, self.body)
+
+    def add_atoms(self, atoms: Sequence[XBindAtom]) -> "XBindQuery":
+        return XBindQuery(self.name, self.head, tuple(self.body) + tuple(atoms))
+
+    def __str__(self) -> str:
+        head_text = ", ".join(str(item) for item in self.head)
+        body_text = ", ".join(str(atom) for atom in self.body)
+        return f"{self.name}({head_text}) :- {body_text}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+def make_xbind(
+    name: str, head: Sequence[Term], body: Sequence[XBindAtom]
+) -> XBindQuery:
+    """Build an XBind query and check its safety."""
+    query = XBindQuery(name, head, body)
+    if not query.is_safe():
+        raise SchemaError(f"unsafe XBind query {name}: head variable not bound in body")
+    return query

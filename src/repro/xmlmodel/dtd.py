@@ -1,0 +1,161 @@
+"""Lightweight DTD-like schema descriptions of XML documents.
+
+Schema specialization (paper section 5) exploits *regularity* in document
+structure: parts of a document that follow a fixed tree pattern can be
+modelled as tuples of a virtual relation.  To discover such patterns
+automatically (as hybrid inlining [31] / STORED [7] would), we need a
+description of the document structure.  :class:`DocumentType` is a minimal
+stand-in for a DTD or XML Schema: for every element name it records which
+child elements may appear, whether they are repeated, optional, or exactly
+one, and whether the element carries text or attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from .model import XMLDocument, XMLNode
+
+
+class Occurrence(Enum):
+    """How many times a child element may appear under its parent."""
+
+    ONE = "one"
+    OPTIONAL = "optional"
+    MANY = "many"
+
+
+@dataclass
+class ElementDecl:
+    """Declaration of one element name."""
+
+    name: str
+    children: Dict[str, Occurrence] = field(default_factory=dict)
+    has_text: bool = False
+    attributes: Tuple[str, ...] = ()
+
+    def child_occurrence(self, child: str) -> Optional[Occurrence]:
+        return self.children.get(child)
+
+    def single_children(self) -> List[str]:
+        """Child names guaranteed to occur at most once (ONE or OPTIONAL)."""
+        return [
+            name
+            for name, occurrence in self.children.items()
+            if occurrence in (Occurrence.ONE, Occurrence.OPTIONAL)
+        ]
+
+
+class DocumentType:
+    """A collection of element declarations with a designated root element."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self._elements: Dict[str, ElementDecl] = {}
+
+    # ------------------------------------------------------------------
+    def declare(
+        self,
+        name: str,
+        children: Optional[Dict[str, Occurrence]] = None,
+        has_text: bool = False,
+        attributes: Sequence[str] = (),
+    ) -> ElementDecl:
+        if name in self._elements:
+            raise SchemaError(f"element {name!r} already declared")
+        declaration = ElementDecl(name, dict(children or {}), has_text, tuple(attributes))
+        self._elements[name] = declaration
+        return declaration
+
+    def element(self, name: str) -> ElementDecl:
+        try:
+            return self._elements[name]
+        except KeyError as error:
+            raise SchemaError(f"unknown element {name!r}") from error
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    @property
+    def element_names(self) -> Tuple[str, ...]:
+        return tuple(self._elements)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def infer(cls, document: XMLDocument) -> "DocumentType":
+        """Infer a document type from an instance document.
+
+        A child name that appears more than once under some parent of a
+        given tag is declared ``MANY``; a child that is present under every
+        occurrence of the parent is ``ONE``; otherwise ``OPTIONAL``.  This is
+        the same style of structure discovery STORED performs on instance
+        data, and it is what the specialization experiments use to derive
+        their mappings automatically.
+        """
+        instance_counts: Dict[str, List[Dict[str, int]]] = {}
+        has_text: Dict[str, bool] = {}
+        attributes: Dict[str, set] = {}
+        for node in document.nodes():
+            counts: Dict[str, int] = {}
+            for child in node.children:
+                counts[child.tag] = counts.get(child.tag, 0) + 1
+            instance_counts.setdefault(node.tag, []).append(counts)
+            has_text[node.tag] = has_text.get(node.tag, False) or bool(node.text)
+            attributes.setdefault(node.tag, set()).update(node.attributes)
+
+        document_type = cls(document.root.tag)
+        for tag, per_instance in instance_counts.items():
+            children: Dict[str, Occurrence] = {}
+            child_names = set()
+            for counts in per_instance:
+                child_names.update(counts)
+            for child in child_names:
+                occurrences = [counts.get(child, 0) for counts in per_instance]
+                if any(count > 1 for count in occurrences):
+                    children[child] = Occurrence.MANY
+                elif all(count == 1 for count in occurrences):
+                    children[child] = Occurrence.ONE
+                else:
+                    children[child] = Occurrence.OPTIONAL
+            document_type.declare(
+                tag,
+                children,
+                has_text=has_text.get(tag, False),
+                attributes=tuple(sorted(attributes.get(tag, ()))),
+            )
+        return document_type
+
+    # ------------------------------------------------------------------
+    def validate(self, document: XMLDocument) -> List[str]:
+        """Return a list of violations of this type by *document* (empty if valid)."""
+        problems: List[str] = []
+        if document.root.tag != self.root:
+            problems.append(
+                f"root element is <{document.root.tag}>, expected <{self.root}>"
+            )
+        for node in document.nodes():
+            if node.tag not in self:
+                problems.append(f"undeclared element <{node.tag}>")
+                continue
+            declaration = self.element(node.tag)
+            counts: Dict[str, int] = {}
+            for child in node.children:
+                counts[child.tag] = counts.get(child.tag, 0) + 1
+                if child.tag not in declaration.children:
+                    problems.append(
+                        f"<{node.tag}> contains undeclared child <{child.tag}>"
+                    )
+            for child, occurrence in declaration.children.items():
+                count = counts.get(child, 0)
+                if occurrence is Occurrence.ONE and count != 1:
+                    problems.append(
+                        f"<{node.tag}> must contain exactly one <{child}>, found {count}"
+                    )
+                elif occurrence is Occurrence.OPTIONAL and count > 1:
+                    problems.append(
+                        f"<{node.tag}> may contain at most one <{child}>, found {count}"
+                    )
+        return problems

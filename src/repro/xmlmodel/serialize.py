@@ -1,0 +1,48 @@
+"""Serialization of the XML document model back to text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .model import XMLDocument, XMLNode
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTRIBUTE_ESCAPES = {**_ESCAPES, '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for inclusion in element content."""
+    return "".join(_ESCAPES.get(character, character) for character in value)
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for inclusion in a double-quoted attribute."""
+    return "".join(_ATTRIBUTE_ESCAPES.get(character, character) for character in value)
+
+
+def serialize_node(node: XMLNode, indent: int = 0, pretty: bool = True) -> str:
+    """Serialize a single element subtree."""
+    pad = "  " * indent if pretty else ""
+    attributes = "".join(
+        f' {name}="{escape_attribute(value)}"' for name, value in node.attributes.items()
+    )
+    if not node.children and node.text is None:
+        return f"{pad}<{node.tag}{attributes}/>"
+    if not node.children:
+        return f"{pad}<{node.tag}{attributes}>{escape_text(node.text)}</{node.tag}>"
+    lines: List[str] = [f"{pad}<{node.tag}{attributes}>"]
+    if node.text:
+        lines.append(f"{pad}  {escape_text(node.text)}" if pretty else escape_text(node.text))
+    for child in node.children:
+        lines.append(serialize_node(child, indent + 1, pretty))
+    lines.append(f"{pad}</{node.tag}>")
+    separator = "\n" if pretty else ""
+    return separator.join(lines)
+
+
+def serialize(document: XMLDocument, pretty: bool = True, declaration: bool = False) -> str:
+    """Serialize a whole document; optionally prepend the XML declaration."""
+    body = serialize_node(document.root, 0, pretty)
+    if declaration:
+        return '<?xml version="1.0"?>\n' + body
+    return body

@@ -1,0 +1,34 @@
+"""XQuery front-end: FLWR AST, decorrelation into XBind queries, tagging."""
+
+from .ast import (
+    Comparison,
+    ElementConstructor,
+    FLWRExpr,
+    ForClause,
+    LetClause,
+    PathExpression,
+    TextLiteral,
+    VariableRef,
+    xquery,
+)
+from .decorrelate import DecorrelatedQuery, Decorrelator, TemplateNode, decorrelate
+from .tagger import Tagger, evaluate_blocks, tag_results
+
+__all__ = [
+    "Comparison",
+    "DecorrelatedQuery",
+    "Decorrelator",
+    "ElementConstructor",
+    "FLWRExpr",
+    "ForClause",
+    "LetClause",
+    "PathExpression",
+    "Tagger",
+    "TemplateNode",
+    "TextLiteral",
+    "VariableRef",
+    "decorrelate",
+    "evaluate_blocks",
+    "tag_results",
+    "xquery",
+]

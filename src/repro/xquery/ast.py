@@ -1,0 +1,166 @@
+"""Abstract syntax for the behaved XQuery fragment MARS accepts.
+
+Paper section 2.1: MARS splits an XQuery into its navigation part (captured
+by XBind queries) and its tagging template.  The AST here models the FLWR
+fragment the paper's examples use: ``for``/``let`` clauses binding variables
+to path expressions, a ``where`` clause of (in)equalities, and a ``return``
+clause building new elements whose content mixes variables and nested,
+correlated FLWR subqueries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import ParseError
+from ..logical.terms import Constant, Variable
+from ..xmlmodel.xpath import XPath, parse_xpath
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """A path rooted either at the document (absolute) or at a bound variable."""
+
+    path: XPath
+    source: Optional[str] = None  # variable name, None for absolute paths
+    document: Optional[str] = None
+    distinct: bool = False
+
+    def __init__(
+        self,
+        path: Union[XPath, str],
+        source: Optional[str] = None,
+        document: Optional[str] = None,
+        distinct: bool = False,
+    ):
+        if isinstance(path, str):
+            path = parse_xpath(path)
+        object.__setattr__(self, "path", path)
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "document", document)
+        object.__setattr__(self, "distinct", distinct)
+
+    def __str__(self) -> str:
+        prefix = f"${self.source}" if self.source else ""
+        text = f"{prefix}{self.path}"
+        if self.distinct:
+            text = f"distinct({text})"
+        return text
+
+
+@dataclass(frozen=True)
+class ForClause:
+    """``for $variable in expression``."""
+
+    variable: str
+    expression: PathExpression
+
+
+@dataclass(frozen=True)
+class LetClause:
+    """``let $variable := expression``."""
+
+    variable: str
+    expression: PathExpression
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A ``where`` conjunct: equality or inequality between values.
+
+    Operands are variable names (strings) or constants.
+    """
+
+    left: Union[str, Constant]
+    right: Union[str, Constant]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        operator = "!=" if self.negated else "="
+        left = f"${self.left}" if isinstance(self.left, str) else str(self.left)
+        right = f"${self.right}" if isinstance(self.right, str) else str(self.right)
+        return f"{left} {operator} {right}"
+
+
+@dataclass(frozen=True)
+class VariableRef:
+    """A reference to a bound variable inside a return template."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class TextLiteral:
+    """Literal character data inside a constructed element."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class ElementConstructor:
+    """``<tag attr=...>content</tag>`` with mixed content."""
+
+    tag: str
+    children: Tuple[object, ...] = ()
+    attributes: Tuple[Tuple[str, Union[str, VariableRef]], ...] = ()
+
+    def __init__(
+        self,
+        tag: str,
+        children: Sequence[object] = (),
+        attributes: Sequence[Tuple[str, Union[str, VariableRef]]] = (),
+    ):
+        object.__setattr__(self, "tag", tag)
+        object.__setattr__(self, "children", tuple(children))
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+
+@dataclass(frozen=True)
+class FLWRExpr:
+    """A for/let/where/return expression."""
+
+    for_clauses: Tuple[ForClause, ...]
+    let_clauses: Tuple[LetClause, ...]
+    where: Tuple[Comparison, ...]
+    return_expr: object  # ElementConstructor | VariableRef | FLWRExpr | TextLiteral
+
+    def __init__(
+        self,
+        for_clauses: Sequence[ForClause] = (),
+        let_clauses: Sequence[LetClause] = (),
+        where: Sequence[Comparison] = (),
+        return_expr: object = None,
+    ):
+        if return_expr is None:
+            raise ParseError("a FLWR expression needs a return clause")
+        object.__setattr__(self, "for_clauses", tuple(for_clauses))
+        object.__setattr__(self, "let_clauses", tuple(let_clauses))
+        object.__setattr__(self, "where", tuple(where))
+        object.__setattr__(self, "return_expr", return_expr)
+
+    def bound_variables(self) -> Tuple[str, ...]:
+        names = [clause.variable for clause in self.for_clauses]
+        names.extend(clause.variable for clause in self.let_clauses)
+        return tuple(names)
+
+
+XQueryExpr = Union[FLWRExpr, ElementConstructor, VariableRef, TextLiteral]
+
+
+def xquery(
+    for_clauses: Sequence[Tuple[str, PathExpression]] = (),
+    where: Sequence[Comparison] = (),
+    return_expr: object = None,
+    let_clauses: Sequence[Tuple[str, PathExpression]] = (),
+) -> FLWRExpr:
+    """Convenience constructor taking ``(variable, expression)`` pairs."""
+    return FLWRExpr(
+        for_clauses=[ForClause(v, e) for v, e in for_clauses],
+        let_clauses=[LetClause(v, e) for v, e in let_clauses],
+        where=where,
+        return_expr=return_expr,
+    )

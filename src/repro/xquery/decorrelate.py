@@ -1,0 +1,185 @@
+"""Decorrelation: XQuery -> XBind queries + tagging template.
+
+Paper section 2.1 (Example 2.1): instead of evaluating nested, correlated
+return subqueries with nested loops, MARS breaks the query into decorrelated
+XBind queries -- one per FLWR block -- where an inner block's query repeats
+the outer block's query as its first atom and returns the outer variables it
+correlates on.  Only the XBind queries depend on the schema correspondence
+and get reformulated; the tagging template is applied afterwards (see
+:mod:`repro.xquery.tagger`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CompilationError
+from ..logical.atoms import EqualityAtom, InequalityAtom, RelationalAtom
+from ..logical.terms import Constant, Variable
+from ..xbind.atoms import PathAtom
+from ..xbind.query import XBindQuery
+from .ast import (
+    Comparison,
+    ElementConstructor,
+    FLWRExpr,
+    PathExpression,
+    TextLiteral,
+    VariableRef,
+)
+
+
+@dataclass
+class TemplateNode:
+    """One node of the tagging template tree.
+
+    ``kind`` is ``"element"``, ``"text"`` or ``"variable"``.  Element nodes
+    carry the name of the XBind block whose bindings drive their repetition;
+    nested blocks correlate on the variables listed in ``correlation``.
+    """
+
+    kind: str
+    tag: Optional[str] = None
+    variable: Optional[str] = None
+    text: Optional[str] = None
+    block: Optional[str] = None
+    attributes: Tuple[Tuple[str, object], ...] = ()
+    children: List["TemplateNode"] = field(default_factory=list)
+
+
+@dataclass
+class DecorrelatedQuery:
+    """The result of decorrelating one XQuery."""
+
+    blocks: List[XBindQuery]
+    template: TemplateNode
+
+    @property
+    def block_names(self) -> List[str]:
+        return [block.name for block in self.blocks]
+
+    def block(self, name: str) -> XBindQuery:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise CompilationError(f"unknown XBind block {name!r}")
+
+
+class Decorrelator:
+    """Turns FLWR expressions into decorrelated XBind queries plus a template."""
+
+    def __init__(self, name: str = "Xb", default_document: Optional[str] = None):
+        self.name = name
+        self.default_document = default_document
+        self._counter = 0
+        self._blocks: List[XBindQuery] = []
+
+    # ------------------------------------------------------------------
+    def decorrelate(self, expression: object) -> DecorrelatedQuery:
+        """Decorrelate *expression* (an FLWR or an element constructor)."""
+        self._counter = 0
+        self._blocks = []
+        template = self._process(expression, outer_block=None, outer_vars=())
+        return DecorrelatedQuery(blocks=list(self._blocks), template=template)
+
+    # ------------------------------------------------------------------
+    def _fresh_block_name(self) -> str:
+        name = f"{self.name}{self._counter}"
+        self._counter += 1
+        return name
+
+    def _clause_atoms(self, flwr: FLWRExpr) -> List[object]:
+        atoms: List[object] = []
+        for clause in list(flwr.for_clauses) + list(flwr.let_clauses):
+            expression = clause.expression
+            target = Variable(clause.variable)
+            if expression.source is None:
+                atoms.append(
+                    PathAtom(
+                        expression.path,
+                        target,
+                        document=expression.document or self.default_document,
+                    )
+                )
+            else:
+                atoms.append(
+                    PathAtom(
+                        expression.path,
+                        target,
+                        source=Variable(expression.source),
+                        document=expression.document,
+                    )
+                )
+        for comparison in flwr.where:
+            left = (
+                Variable(comparison.left)
+                if isinstance(comparison.left, str)
+                else comparison.left
+            )
+            right = (
+                Variable(comparison.right)
+                if isinstance(comparison.right, str)
+                else comparison.right
+            )
+            if comparison.negated:
+                atoms.append(InequalityAtom(left, right))
+            else:
+                atoms.append(EqualityAtom(left, right))
+        return atoms
+
+    def _process(
+        self,
+        expression: object,
+        outer_block: Optional[XBindQuery],
+        outer_vars: Tuple[Variable, ...],
+    ) -> TemplateNode:
+        if isinstance(expression, ElementConstructor):
+            node = TemplateNode(
+                kind="element",
+                tag=expression.tag,
+                attributes=expression.attributes,
+                block=outer_block.name if outer_block else None,
+            )
+            for child in expression.children:
+                node.children.append(self._process(child, outer_block, outer_vars))
+            return node
+        if isinstance(expression, VariableRef):
+            return TemplateNode(
+                kind="variable",
+                variable=expression.name,
+                block=outer_block.name if outer_block else None,
+            )
+        if isinstance(expression, TextLiteral):
+            return TemplateNode(kind="text", text=expression.value)
+        if isinstance(expression, FLWRExpr):
+            return self._process_flwr(expression, outer_block, outer_vars)
+        raise CompilationError(f"unsupported XQuery fragment: {expression!r}")
+
+    def _process_flwr(
+        self,
+        flwr: FLWRExpr,
+        outer_block: Optional[XBindQuery],
+        outer_vars: Tuple[Variable, ...],
+    ) -> TemplateNode:
+        block_name = self._fresh_block_name()
+        bound = tuple(Variable(v) for v in flwr.bound_variables())
+        head: Tuple[Variable, ...] = outer_vars + bound
+        atoms: List[object] = []
+        if outer_block is not None:
+            # Decorrelation: repeat the outer block as the first atom so that
+            # the correlation between outer and inner bindings is preserved.
+            atoms.append(RelationalAtom(outer_block.name, outer_block.head))
+        atoms.extend(self._clause_atoms(flwr))
+        block = XBindQuery(block_name, head, atoms)
+        self._blocks.append(block)
+        node = self._process(flwr.return_expr, block, head)
+        wrapper = TemplateNode(kind="block", block=block_name)
+        wrapper.children.append(node)
+        return wrapper
+
+
+def decorrelate(
+    expression: object, name: str = "Xb", default_document: Optional[str] = None
+) -> DecorrelatedQuery:
+    """Convenience wrapper around :class:`Decorrelator`."""
+    return Decorrelator(name, default_document).decorrelate(expression)

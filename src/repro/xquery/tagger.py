@@ -1,0 +1,156 @@
+"""The tagging phase: building output XML from binding tuples.
+
+Paper section 2.1: MARS adopts the *sorted outer union* approach of
+XPeranto [30] for the second, schema-independent phase of XQuery
+evaluation.  Each decorrelated XBind block contributes a table of binding
+tuples; tuples of an inner block carry the outer block's variables so they
+can be grouped under the right outer element.  The tagger walks the tagging
+template, groups the (outer-unioned) tuples by their correlation prefix and
+emits the constructed elements in a deterministic (sorted) order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import EvaluationError
+from ..logical.terms import Variable
+from ..xbind.query import XBindQuery
+from ..xmlmodel.model import XMLDocument, XMLNode
+from .decorrelate import DecorrelatedQuery, TemplateNode
+
+Row = Tuple[object, ...]
+
+
+class Tagger:
+    """Applies a tagging template to the binding tables of the XBind blocks."""
+
+    def __init__(self, decorrelated: DecorrelatedQuery):
+        self.decorrelated = decorrelated
+
+    # ------------------------------------------------------------------
+    def tag(
+        self,
+        bindings: Mapping[str, Sequence[Row]],
+        document_name: str = "result.xml",
+    ) -> XMLDocument:
+        """Build the output document from per-block binding tables.
+
+        *bindings* maps each block name to the rows returned by evaluating
+        (or reformulating and executing) that block; rows follow the block's
+        head variable order.
+        """
+        template = self.decorrelated.template
+        nodes = self._render(template, bindings, context=())
+        if len(nodes) == 1 and isinstance(nodes[0], XMLNode):
+            return XMLDocument(document_name, nodes[0])
+        root = XMLNode("result")
+        for node in nodes:
+            if isinstance(node, XMLNode):
+                root.append(node)
+            else:
+                root.add("value", str(node))
+        return XMLDocument(document_name, root)
+
+    # ------------------------------------------------------------------
+    def _block_rows(
+        self,
+        block_name: str,
+        bindings: Mapping[str, Sequence[Row]],
+        context: Tuple[object, ...],
+    ) -> List[Tuple[Row, Dict[str, object]]]:
+        block = self.decorrelated.block(block_name)
+        rows = bindings.get(block_name, ())
+        matched: List[Tuple[Row, Dict[str, object]]] = []
+        seen = set()
+        for row in sorted(rows, key=lambda r: tuple(map(str, r))):
+            if len(row) != len(block.head):
+                raise EvaluationError(
+                    f"block {block_name}: row arity {len(row)} does not match head"
+                )
+            if context and tuple(row[: len(context)]) != context:
+                continue
+            if row in seen:
+                continue
+            seen.add(row)
+            values = {
+                variable.name: value
+                for variable, value in zip(block.head, row)
+                if isinstance(variable, Variable)
+            }
+            matched.append((row, values))
+        return matched
+
+    def _render(
+        self,
+        node: TemplateNode,
+        bindings: Mapping[str, Sequence[Row]],
+        context: Tuple[object, ...],
+        values: Optional[Dict[str, object]] = None,
+    ) -> List[object]:
+        values = values or {}
+        if node.kind == "text":
+            return [node.text]
+        if node.kind == "variable":
+            if node.variable not in values:
+                raise EvaluationError(f"unbound template variable ${node.variable}")
+            return [values[node.variable]]
+        if node.kind == "block":
+            results: List[object] = []
+            for row, row_values in self._block_rows(node.block, bindings, context):
+                merged = dict(values)
+                merged.update(row_values)
+                for child in node.children:
+                    results.extend(self._render(child, bindings, tuple(row), merged))
+            return results
+        if node.kind == "element":
+            element = XMLNode(node.tag)
+            for name, value in node.attributes:
+                if hasattr(value, "name"):
+                    attr_value = values.get(value.name)
+                else:
+                    attr_value = value
+                element.attributes[name] = str(attr_value)
+            for child in node.children:
+                for rendered in self._render(child, bindings, context, values):
+                    if isinstance(rendered, XMLNode):
+                        element.append(rendered)
+                    else:
+                        existing = element.text or ""
+                        element.text = existing + str(rendered)
+            return [element]
+        raise EvaluationError(f"unknown template node kind {node.kind!r}")
+
+
+def tag_results(
+    decorrelated: DecorrelatedQuery,
+    bindings: Mapping[str, Sequence[Row]],
+    document_name: str = "result.xml",
+) -> XMLDocument:
+    """Convenience wrapper around :class:`Tagger`."""
+    return Tagger(decorrelated).tag(bindings, document_name)
+
+
+def evaluate_blocks(decorrelated: DecorrelatedQuery, storage) -> Dict[str, List[Row]]:
+    """Naively evaluate every XBind block of a decorrelated query.
+
+    Blocks are evaluated outermost first; each block's result is registered
+    as a relation in the storage's database so inner (correlated) blocks can
+    join against it, which is exactly how the decorrelated plan is meant to
+    be executed.  Element-valued bindings are externalized to node
+    identities, so only value-based correlation (the common case, as in the
+    paper's Example 2.1) round-trips through this helper.
+    """
+    from ..xbind.evaluation import evaluate_xbind
+
+    bindings: Dict[str, List[Row]] = {}
+    for block in decorrelated.blocks:
+        rows = evaluate_xbind(block, storage)
+        bindings[block.name] = rows
+        database = storage.database
+        if not database.has_table(block.name):
+            database.create_table(block.name, len(block.head))
+        table = database.table(block.name)
+        table.clear()
+        table.insert_many(rows)
+    return bindings

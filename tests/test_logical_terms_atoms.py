@@ -1,0 +1,134 @@
+"""Unit tests for terms and atoms of the logical framework."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logical import (
+    Constant,
+    EqualityAtom,
+    InequalityAtom,
+    RelationalAtom,
+    Variable,
+    VariableFactory,
+    atom_variables,
+    const,
+    is_constant,
+    is_variable,
+    var,
+)
+
+
+class TestTerms:
+    def test_variable_identity_and_hash(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+        assert hash(Variable("x")) == hash(Variable("x"))
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_constant_identity(self):
+        assert Constant("a") == Constant("a")
+        assert Constant(1) != Constant("1")
+
+    def test_var_const_helpers(self):
+        assert is_variable(var("x"))
+        assert is_constant(const("x"))
+        assert not is_variable(const(3))
+
+    def test_variable_and_constant_never_equal(self):
+        assert Variable("x") != Constant("x")
+
+    def test_variable_factory_avoids_used_names(self):
+        factory = VariableFactory(prefix="v", used=["v0", "v1"])
+        fresh = factory.fresh()
+        assert fresh.name not in {"v0", "v1"}
+
+    def test_variable_factory_never_repeats(self):
+        factory = VariableFactory()
+        names = {factory.fresh().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_variable_factory_reserve(self):
+        factory = VariableFactory(prefix="w")
+        factory.reserve(["w0"])
+        assert factory.fresh().name != "w0"
+
+
+class TestRelationalAtom:
+    def test_arity_and_str(self):
+        atom = RelationalAtom("R", (var("x"), const("a")))
+        assert atom.arity == 2
+        assert "R" in str(atom)
+
+    def test_variables_and_constants(self):
+        atom = RelationalAtom("R", (var("x"), const("a"), var("x")))
+        assert list(atom.variables()) == [var("x"), var("x")]
+        assert list(atom.constants()) == [const("a")]
+
+    def test_substitute(self):
+        atom = RelationalAtom("R", (var("x"), var("y")))
+        replaced = atom.substitute({var("x"): const(5)})
+        assert replaced.terms == (const(5), var("y"))
+
+    def test_substitute_is_pure(self):
+        atom = RelationalAtom("R", (var("x"),))
+        atom.substitute({var("x"): var("z")})
+        assert atom.terms == (var("x"),)
+
+    def test_atoms_hashable(self):
+        a1 = RelationalAtom("R", (var("x"),))
+        a2 = RelationalAtom("R", (var("x"),))
+        assert a1 == a2
+        assert len({a1, a2}) == 1
+
+
+class TestFilterAtoms:
+    def test_equality_trivial(self):
+        assert EqualityAtom(var("x"), var("x")).is_trivial()
+        assert not EqualityAtom(var("x"), var("y")).is_trivial()
+
+    def test_equality_substitute(self):
+        atom = EqualityAtom(var("x"), var("y")).substitute({var("y"): const(1)})
+        assert atom.right == const(1)
+
+    def test_inequality_substitute_and_vars(self):
+        atom = InequalityAtom(var("x"), const("a"))
+        assert list(atom.variables()) == [var("x")]
+        replaced = atom.substitute({var("x"): var("z")})
+        assert replaced.left == var("z")
+
+    def test_atom_variables_dedupes_in_order(self):
+        atoms = [
+            RelationalAtom("R", (var("x"), var("y"))),
+            RelationalAtom("S", (var("y"), var("z"))),
+        ]
+        assert atom_variables(atoms) == (var("x"), var("y"), var("z"))
+
+
+@given(st.lists(st.sampled_from(["x", "y", "z", "w"]), min_size=1, max_size=4))
+def test_property_substitution_idempotent_on_fixed_point(names):
+    atom = RelationalAtom("R", tuple(var(n) for n in names))
+    mapping = {var(n): var(n + "_1") for n in set(names)}
+    once = atom.substitute(mapping)
+    twice = once.substitute(mapping)
+    # After the first substitution no original variable remains, so applying
+    # the same mapping again changes nothing.
+    assert once == twice
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("RST"), st.integers(min_value=1, max_value=3)),
+        min_size=0,
+        max_size=6,
+    )
+)
+def test_property_atom_variables_subset_of_union(spec):
+    atoms = [
+        RelationalAtom(name, tuple(var(f"v{i}_{j}") for j in range(arity)))
+        for i, (name, arity) in enumerate(spec)
+    ]
+    collected = set(atom_variables(atoms))
+    union = set()
+    for atom in atoms:
+        union.update(atom.variables())
+    assert collected == union

@@ -1,0 +1,181 @@
+"""Unit tests for schema specialization (paper section 5)."""
+
+import pytest
+
+from repro.compile import GrexCompiler, GrexSchema
+from repro.logical import RelationalAtom, Variable
+from repro.specialize import (
+    SpecializationField,
+    SpecializationMapping,
+    Specializer,
+    derive_specializations,
+    derive_specializations_from_instance,
+    expand_specialized_atoms,
+    materialize_specialization,
+)
+from repro.xbind import PathAtom, XBindQuery
+from repro.xmlmodel import DocumentType, Occurrence, XMLDocument, XMLNode
+
+
+def author_document() -> XMLDocument:
+    """The paper's Figure 6 structure: author with name/{first,last}, address/{...}."""
+    root = XMLNode("authors")
+    for first, last, city in [("Alin", "Deutsch", "san diego"), ("Val", "Tannen", "philly")]:
+        author = root.add("author")
+        name = author.add("name")
+        name.add("first", first)
+        name.add("last", last)
+        address = author.add("address")
+        address.add("street", "main st")
+        address.add("city", city)
+        address.add("state", "xx")
+        address.add("zip", "00000")
+    return XMLDocument("authors.xml", root)
+
+
+def author_mapping() -> SpecializationMapping:
+    return SpecializationMapping(
+        "Author",
+        "authors.xml",
+        "author",
+        [
+            SpecializationField("first", ("name", "first")),
+            SpecializationField("last", ("name", "last")),
+            SpecializationField("street", ("address", "street")),
+            SpecializationField("city", ("address", "city")),
+            SpecializationField("state", ("address", "state")),
+            SpecializationField("zip", ("address", "zip")),
+        ],
+    )
+
+
+class TestMappings:
+    def test_attributes_and_arity(self):
+        mapping = author_mapping()
+        assert mapping.arity == 8
+        assert mapping.attributes[:2] == ("id", "pid")
+        assert mapping.field_index("city") == 3
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(Exception):
+            SpecializationMapping(
+                "M", "d.xml", "e", [SpecializationField("a", ("x",)), SpecializationField("a", ("y",))]
+            )
+
+
+class TestInlining:
+    def test_derive_from_instance_finds_author_pattern(self):
+        mappings = derive_specializations_from_instance(author_document())
+        by_tag = {m.element_tag: m for m in mappings}
+        assert "author" in by_tag
+        author = by_tag["author"]
+        field_paths = {field.path for field in author.fields}
+        assert ("name", "last") in field_paths
+        assert ("address", "city") in field_paths
+
+    def test_minimum_fields_threshold(self):
+        document_type = DocumentType("r")
+        document_type.declare("r", {"leaf": Occurrence.ONE})
+        document_type.declare("leaf", has_text=True)
+        assert derive_specializations(document_type, "d.xml", minimum_fields=2) == []
+        assert len(derive_specializations(document_type, "d.xml", minimum_fields=1)) == 1
+
+    def test_repeated_children_are_not_inlined(self):
+        document_type = DocumentType("r")
+        document_type.declare("r", {"item": Occurrence.MANY, "a": Occurrence.ONE, "b": Occurrence.ONE})
+        document_type.declare("item", has_text=True)
+        document_type.declare("a", has_text=True)
+        document_type.declare("b", has_text=True)
+        (mapping,) = derive_specializations(document_type, "d.xml")
+        assert {f.path for f in mapping.fields} == {("a",), ("b",)}
+
+
+class TestSpecializer:
+    def _compiled_paper_query(self):
+        """The paper's section 5 query Xb over the authors document."""
+        schema = GrexSchema("authors.xml")
+        compiler = GrexCompiler({"authors.xml": schema})
+        author, last, city = Variable("id"), Variable("l"), Variable("c")
+        query = XBindQuery(
+            "Xb",
+            (last, city),
+            (
+                PathAtom("//author", author),
+                PathAtom("./name/last/text()", last, source=author),
+                PathAtom("./address/city/text()", city, source=author),
+            ),
+        )
+        return compiler.compile_xbind(query), schema
+
+    def test_query_specialization_shrinks_atom_count(self):
+        compiled, _ = self._compiled_paper_query()
+        specializer = Specializer([author_mapping()])
+        specialized = specializer.specialize_query(compiled)
+        assert len(specialized.body) < len(compiled.body)
+        assert any(a.relation == "Author" for a in specialized.relational_body)
+        # the navigation that was folded into the Author atom is gone
+        assert not any(
+            a.relation.startswith("child__") for a in specialized.relational_body
+        )
+
+    def test_specialization_keeps_head(self):
+        compiled, _ = self._compiled_paper_query()
+        specialized = Specializer([author_mapping()]).specialize_query(compiled)
+        assert specialized.head == compiled.head
+
+    def test_dependency_specialization(self):
+        """Constraint (12) of the paper shrinks to the Author-based (13)."""
+        compiled, _ = self._compiled_paper_query()
+        from repro.logical import tgd
+
+        view_atom = RelationalAtom("V", (Variable("l"), Variable("c")))
+        constraint = tgd("cV", list(compiled.body), [view_atom])
+        specializer = Specializer([author_mapping()])
+        specialized = specializer.specialize_dependency(constraint)
+        assert len(specialized.premise) < len(constraint.premise)
+        assert any(a.relation == "Author" for a in specialized.premise)
+
+    def test_unmatched_patterns_left_untouched(self):
+        schema = GrexSchema("other.xml")
+        compiler = GrexCompiler({"other.xml": schema})
+        p, c = Variable("p"), Variable("c")
+        query = compiler.compile_xbind(
+            XBindQuery(
+                "X",
+                (c,),
+                (
+                    PathAtom("//publisher", p),
+                    PathAtom("./address/city/text()", c, source=p),
+                ),
+            )
+        )
+        specialized = Specializer([author_mapping()]).specialize_query(query)
+        assert specialized.body == query.body
+
+    def test_expand_specialized_atoms_roundtrip(self):
+        compiled, schema = self._compiled_paper_query()
+        mapping = author_mapping()
+        specialized = Specializer([mapping]).specialize_query(compiled)
+        expanded = expand_specialized_atoms(specialized, [mapping])
+        assert not any(a.relation == "Author" for a in expanded.relational_body)
+        relations = {a.relation.split("__")[0] for a in expanded.relational_body}
+        assert {"child", "tag", "text"} <= relations
+
+
+class TestMaterialization:
+    def test_materialize_rows(self):
+        document = author_document()
+        rows = materialize_specialization(author_mapping(), document)
+        assert len(rows) == 2
+        last_names = {row[3] for row in rows}
+        assert last_names == {"Deutsch", "Tannen"}
+        # ids are node identities of author elements, pids of their parent
+        assert all(row[0].startswith("authors.xml#") for row in rows)
+
+    def test_incomplete_elements_are_skipped(self):
+        document = author_document()
+        # remove the address of the first author: that author is not regular
+        first_author = document.find_all("author")[0]
+        first_author.children = [c for c in first_author.children if c.tag != "address"]
+        rows = materialize_specialization(author_mapping(), document)
+        assert len(rows) == 1

@@ -1,0 +1,113 @@
+"""Unit tests for the workload generators themselves."""
+
+import pytest
+
+from repro.workloads import SyntheticDataGenerator, medical, star, xmark
+from repro.workloads.star import StarParameters
+from repro.workloads.xmark import XMarkParameters
+
+
+class TestDataGenerator:
+    def test_determinism(self):
+        a, b = SyntheticDataGenerator(42), SyntheticDataGenerator(42)
+        assert [a.integer(0, 100) for _ in range(5)] == [b.integer(0, 100) for _ in range(5)]
+        assert a.token("t") == b.token("t")
+
+    def test_words_and_sample(self):
+        generator = SyntheticDataGenerator(1)
+        assert len(generator.words(4).split()) == 4
+        assert len(generator.sample([1, 2, 3], 5)) == 3
+
+
+class TestStarWorkload:
+    def test_document_shape(self):
+        parameters = StarParameters(corners=3, hub_count=5, corner_size=4)
+        document = star.build_star_document(parameters)
+        assert len(document.find_all("R")) == 5
+        assert len(document.find_all("S1")) == 4
+        assert len(document.find_all("S3")) == 4
+        # every hub has a key and one A per corner
+        hub = document.find_all("R")[0]
+        assert len(hub.child_elements("K")) == 1
+        assert len(hub.child_elements("A2")) == 1
+
+    def test_configuration_contents(self):
+        parameters = StarParameters(corners=4)
+        configuration = star.build_configuration(parameters)
+        names = set(configuration.relational_schema.relation_names)
+        assert "R_store" in names
+        assert "S4_store" in names
+        assert "V3" in names and "V4" not in names  # NV = NC - 1
+        assert len(configuration.xics) == 1 + 4  # key + one FK per corner
+
+    def test_views_only_configuration(self):
+        parameters = StarParameters(corners=3, include_base_storage=False)
+        configuration = star.build_configuration(parameters)
+        names = set(configuration.relational_schema.relation_names)
+        assert "R_store" not in names
+        assert {"V1", "V2"} <= names
+
+    def test_client_query_shape(self):
+        parameters = StarParameters(corners=5)
+        query = star.client_query(parameters)
+        assert len(query.head) == 6  # K plus one B per corner
+        assert len(query.path_atoms) == 2 + 4 * 5
+
+    def test_foreign_keys_hold_in_generated_instance(self):
+        parameters = StarParameters(corners=3, hub_count=10, corner_size=5)
+        document = star.build_star_document(parameters)
+        corner_values = {
+            i: {s.child_elements("A")[0].text for s in document.find_all(f"S{i}")}
+            for i in range(1, 4)
+        }
+        for hub in document.find_all("R"):
+            for i in range(1, 4):
+                value = hub.child_elements(f"A{i}")[0].text
+                assert value in corner_values[i]
+
+
+class TestXMarkWorkload:
+    def test_document_shape(self):
+        parameters = XMarkParameters(items_per_region=3, people=4, closed_auctions=5)
+        document = xmark.build_auction_document(parameters)
+        assert len(document.find_all("item")) == 3 * len(xmark.REGIONS)
+        assert len(document.find_all("person")) == 4
+        assert len(document.find_all("closed_auction")) == 5
+        # auction references point at existing items and people
+        item_ids = {n.attributes["id"] for n in document.find_all("item")}
+        for auction in document.find_all("closed_auction"):
+            assert auction.child_elements("itemref")[0].text in item_ids
+
+    def test_configuration_declares_views_and_constraints(self):
+        configuration = xmark.build_configuration(with_instance=False)
+        names = set(configuration.relational_schema.relation_names)
+        assert {"itemName", "itemCategory", "personDirectory", "auctionPrice"} <= names
+        xic_names = {x.name for x in configuration.xics}
+        assert "key_item_id" in xic_names and "exists_person_id" in xic_names
+
+    def test_query_suite_is_well_formed(self):
+        for query in xmark.query_suite():
+            assert query.is_safe()
+            assert query.path_atoms
+
+
+class TestMedicalWorkload:
+    def test_catalog_document(self):
+        document = medical.build_catalog_document()
+        assert len(document.find_all("drug")) == len(medical.DEFAULT_CATALOG)
+
+    def test_configuration_contents(self):
+        configuration = medical.build_configuration()
+        assert "patientDiag" in configuration.relational_schema
+        assert "drugPrice" in configuration.relational_schema
+        assert "case.xml" in configuration.public_documents
+        assert "catalog.xml" in configuration.proprietary_documents
+
+    def test_cache_variant(self):
+        configuration = medical.build_configuration(include_cache=True)
+        assert "cache.xml" in configuration.proprietary_documents
+        assert "cache.xml" not in configuration.public_documents
+
+    def test_client_queries_safe(self):
+        assert medical.client_query().is_safe()
+        assert medical.drug_usage_query().is_safe()

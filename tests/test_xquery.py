@@ -1,0 +1,174 @@
+"""Unit tests for the XQuery front-end: AST, decorrelation and tagging."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logical import Constant, RelationalAtom, Variable
+from repro.xbind import MixedStorage, evaluate_xbind
+from repro.xmlmodel import XMLDocument, XMLNode, serialize
+from repro.xquery import (
+    Comparison,
+    evaluate_blocks,
+    ElementConstructor,
+    FLWRExpr,
+    PathExpression,
+    TextLiteral,
+    VariableRef,
+    decorrelate,
+    tag_results,
+    xquery,
+)
+
+
+def example_2_1_query() -> FLWRExpr:
+    """The paper's Example 2.1: group book titles under each author."""
+    inner = xquery(
+        for_clauses=[
+            ("b", PathExpression("//book")),
+            ("a1", PathExpression("./author/text()", source="b")),
+            ("t", PathExpression("./title/text()", source="b")),
+        ],
+        where=[Comparison("a", "a1")],
+        return_expr=ElementConstructor("title", [VariableRef("t")]),
+    )
+    return xquery(
+        for_clauses=[("a", PathExpression("//author/text()", distinct=True))],
+        return_expr=ElementConstructor(
+            "item", [ElementConstructor("writer", [VariableRef("a")]), inner]
+        ),
+    )
+
+
+@pytest.fixture
+def books_document():
+    root = XMLNode("bib")
+    for title, authors in [("TAPL", ["Pierce"]), ("DBBook", ["Abiteboul", "Hull"])]:
+        book = root.add("book")
+        book.add("title", title)
+        for author in authors:
+            book.add("author", author)
+    return XMLDocument("bib.xml", root)
+
+
+class TestAst:
+    def test_flwr_requires_return(self):
+        with pytest.raises(ParseError):
+            FLWRExpr(for_clauses=[], return_expr=None)
+
+    def test_bound_variables(self):
+        expr = example_2_1_query()
+        assert expr.bound_variables() == ("a",)
+
+    def test_path_expression_str(self):
+        path = PathExpression("//author/text()", distinct=True)
+        assert "distinct" in str(path)
+        assert str(Comparison("a", "b", negated=True)) == "$a != $b"
+
+
+class TestDecorrelation:
+    def test_example_2_1_produces_two_blocks(self):
+        decorrelated = decorrelate(example_2_1_query(), default_document="bib.xml")
+        assert len(decorrelated.blocks) == 2
+        outer, inner = decorrelated.blocks
+        # Xbo(a) and Xbi(a, b, a1, t), as in the paper.
+        assert [v.name for v in outer.head] == ["a"]
+        assert [v.name for v in inner.head] == ["a", "b", "a1", "t"]
+        # The inner block repeats the outer block as its first atom.
+        first = inner.body[0]
+        assert isinstance(first, RelationalAtom)
+        assert first.relation == outer.name
+
+    def test_where_clause_becomes_equality(self):
+        decorrelated = decorrelate(example_2_1_query(), default_document="bib.xml")
+        inner = decorrelated.blocks[1]
+        from repro.logical import EqualityAtom
+
+        equalities = [a for a in inner.body if isinstance(a, EqualityAtom)]
+        assert len(equalities) == 1
+
+    def test_template_structure(self):
+        decorrelated = decorrelate(example_2_1_query(), default_document="bib.xml")
+        template = decorrelated.template
+        assert template.kind == "block"
+        item = template.children[0]
+        assert item.kind == "element" and item.tag == "item"
+        assert item.children[0].tag == "writer"
+
+    def test_unsupported_fragment_rejected(self):
+        with pytest.raises(Exception):
+            decorrelate(object())
+
+
+class TestEndToEnd:
+    def test_evaluate_blocks_and_tag(self, books_document):
+        """Decorrelate, evaluate each block naively, then tag: the classic pipeline."""
+        decorrelated = decorrelate(example_2_1_query(), default_document="bib.xml")
+        storage = MixedStorage({"bib.xml": books_document})
+        bindings = evaluate_blocks(decorrelated, storage)
+        result = tag_results(decorrelated, bindings, "result.xml")
+        writers = sorted(n.text for n in result.find_all("writer"))
+        assert writers == ["Abiteboul", "Hull", "Pierce"]
+        # every author's item contains the titles of their books
+        items = result.find_all("item")
+        by_writer = {
+            item.find_all("writer")[0].text if item.find_all("writer") else item.children[0].text: item
+            for item in items
+        }
+        pierce_titles = [n.text for n in by_writer["Pierce"].find_all("title")]
+        assert pierce_titles == ["TAPL"]
+        hull_titles = [n.text for n in by_writer["Hull"].find_all("title")]
+        assert hull_titles == ["DBBook"]
+        # the output serializes cleanly
+        assert "<writer>" in serialize(result)
+
+    def test_tagger_groups_by_correlation(self):
+        decorrelated = decorrelate(example_2_1_query(), default_document="bib.xml")
+        outer_name, inner_name = decorrelated.block_names
+        bindings = {
+            outer_name: [("alice",), ("bob",)],
+            inner_name: [
+                ("alice", "b1", "alice", "t1"),
+                ("bob", "b2", "bob", "t2"),
+                ("bob", "b3", "bob", "t3"),
+            ],
+        }
+        result = tag_results(decorrelated, bindings)
+        items = result.find_all("item")
+        assert len(items) == 2
+
+    def test_tagger_rejects_bad_arity(self):
+        decorrelated = decorrelate(example_2_1_query(), default_document="bib.xml")
+        outer_name = decorrelated.block_names[0]
+        with pytest.raises(Exception):
+            tag_results(decorrelated, {outer_name: [("a", "extra")]})
+
+
+class TestAttributesAndLiterals:
+    def test_attribute_and_text_literal_rendering(self):
+        expr = xquery(
+            for_clauses=[("p", PathExpression("//person"))],
+            return_expr=ElementConstructor(
+                "entry",
+                [TextLiteral("name: "), VariableRef("n")],
+                attributes=[("kind", VariableRef("n"))],
+            ),
+        )
+        # add a binding for $n through a let-like second for clause
+        expr = xquery(
+            for_clauses=[
+                ("p", PathExpression("//person")),
+                ("n", PathExpression("./name/text()", source="p")),
+            ],
+            return_expr=expr.return_expr,
+        )
+        decorrelated = decorrelate(expr, default_document="people.xml")
+        block = decorrelated.blocks[0]
+        root = XMLNode("people")
+        person = root.add("person")
+        person.add("name", "ada")
+        storage = MixedStorage({"people.xml": XMLDocument("people.xml", root)})
+        bindings = {block.name: evaluate_xbind(block, storage)}
+        result = tag_results(decorrelated, bindings)
+        entry = result.find_all("entry")[0] if result.root.tag != "entry" else result.root
+        assert entry.attributes["kind"] == "ada"
+        assert entry.text.startswith("name: ")

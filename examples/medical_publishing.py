@@ -7,16 +7,20 @@ catalog as-is.  MARS finds every minimal reformulation of the client query
 "diagnosis with the corresponding drug's price" and picks the cheapest; the
 redundant drugPrice table wins, as the paper argues.
 
-Run with:  python examples/medical_publishing.py
+Run with:  python examples/medical_publishing.py [--backend memory|sqlite]
 """
+
+import argparse
 
 from repro.core import MarsExecutor, MarsSystem
 from repro.engine import BackchaseConfig, CBConfig
+from repro.storage.backends import available_backends
 from repro.workloads import medical
 
 
-def main() -> None:
+def main(backend: str = "memory") -> None:
     configuration = medical.build_configuration()
+    configuration.backend = backend
     query = medical.client_query()
 
     print("public schema : case.xml (CaseMap over patient tables), catalog.xml (as-is)")
@@ -44,7 +48,7 @@ def main() -> None:
 
     executor = MarsExecutor(configuration)
     comparison = executor.compare(query, best.best)
-    print("\nexecution on the instance data:")
+    print(f"\nexecution on the instance data ({backend} backend):")
     print(f"  answers              : {sorted(comparison.original_rows)}")
     print(f"  answers match        : {comparison.answers_match}")
     print(f"  original execution   : {comparison.original_seconds * 1000:.2f} ms")
@@ -52,4 +56,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        default="memory",
+        choices=available_backends(),
+        help="storage backend executing the reformulations",
+    )
+    main(**vars(parser.parse_args()))

@@ -6,23 +6,28 @@ facts) speed up the common queries.  MARS reformulates each query of the
 suite, showing which queries can be answered entirely from the relational
 copies and which must touch the native XML store.
 
-Run with:  python examples/xmark_publishing.py
+Run with:  python examples/xmark_publishing.py [--backend memory|sqlite]
 """
 
+import argparse
+
 from repro.core import MarsExecutor, MarsSystem
+from repro.storage.backends import available_backends
 from repro.workloads import xmark
 
 
-def main() -> None:
+def main(backend: str = "memory") -> None:
     configuration = xmark.build_configuration(
         xmark.XMarkParameters(items_per_region=10, people=20, closed_auctions=25),
         with_instance=True,
     )
+    configuration.backend = backend
     system = MarsSystem(configuration)
     executor = MarsExecutor(configuration)
 
     print("published : auction.xml (stored natively, published as-is)")
-    print("redundant : itemName, itemCategory, personDirectory, auctionPrice\n")
+    print("redundant : itemName, itemCategory, personDirectory, auctionPrice")
+    print(f"backend   : {backend} (reformulations execute here)\n")
     print(f"{'query':<20s} {'reformulation':>14s} {'uses':<45s} {'answers ok':>10s}")
 
     for query in xmark.query_suite():
@@ -39,4 +44,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        default="memory",
+        choices=available_backends(),
+        help="storage backend executing the reformulations",
+    )
+    main(**vars(parser.parse_args()))

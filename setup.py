@@ -4,12 +4,36 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of MARS: A System for Publishing XML from Mixed and "
         "Redundant Storage (VLDB 2003)"
     ),
+    long_description=(
+        "Chase & Backchase reformulation of XML queries over mixed "
+        "relational/native-XML storage, with pluggable in-memory and SQLite "
+        "execution backends."
+    ),
+    long_description_content_type="text/plain",
+    license="MIT",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Operating System :: OS Independent",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.9",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database :: Database Engines/Servers",
+        "Topic :: Text Processing :: Markup :: XML",
+    ],
+    keywords="xml publishing query-reformulation chase backchase sqlite",
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+    },
 )

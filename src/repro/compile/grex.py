@@ -26,7 +26,6 @@ from ..engine.shortcut import ClosureSpec
 from ..logical.atoms import RelationalAtom
 from ..logical.schema import RelationalSchema
 from ..logical.terms import Constant, Term
-from ..storage.relational_db import InMemoryDatabase
 from ..xmlmodel.model import XMLDocument
 
 GREX_ARITIES: Dict[str, int] = {
@@ -126,21 +125,24 @@ class GrexSchema:
             if name not in schema:
                 schema.add_relation(name, GREX_ATTRIBUTES[base])
 
-    def materialize(self, document: XMLDocument, database: InMemoryDatabase) -> None:
-        """Store the document's GReX encoding as tables in *database*.
+    def materialize(self, document: XMLDocument, store) -> None:
+        """Store the document's GReX encoding as tables in *store*.
 
-        This is how native-XML proprietary documents become executable by the
-        in-memory engine: a reformulation whose atoms range over this
-        document's GReX relations is evaluated directly against these tables.
+        This is how native-XML proprietary documents become executable: a
+        reformulation whose atoms range over this document's GReX relations
+        is evaluated directly against these tables.  *store* is anything
+        with the relational-store interface — an
+        :class:`~repro.storage.relational_db.InMemoryDatabase` or any
+        :class:`~repro.storage.backends.StorageBackend`.
         """
         facts = document.grex_facts()
         for base, rows in facts.items():
             name = self.relation(base)
-            if not database.has_table(name):
-                database.create_table(name, GREX_ARITIES[base], GREX_ATTRIBUTES[base])
-            table = database.table(name)
-            table.clear()
-            table.insert_many(rows)
+            if not store.has_table(name):
+                store.create_table(name, GREX_ARITIES[base], GREX_ATTRIBUTES[base])
+            else:
+                store.clear_table(name)
+            store.insert_many(name, rows)
 
 
 def closure_specs(schemas: Iterable[GrexSchema]) -> Tuple[ClosureSpec, ...]:

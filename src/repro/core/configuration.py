@@ -53,6 +53,9 @@ class MarsConfiguration:
         self.statistics = TableStatistics()
         self.xml_access_weight = DEFAULT_XML_ACCESS_WEIGHT
         self.include_disjunctive_tix = False
+        # Name of the storage backend executing reformulations ("memory",
+        # "sqlite", ...); examples and benchmarks flip engines with this flag.
+        self.backend: str = "memory"
 
     # ------------------------------------------------------------------
     # Declarations
@@ -129,6 +132,20 @@ class MarsConfiguration:
 
     def add_dependency(self, dependency: DED) -> None:
         self.extra_dependencies.append(dependency)
+
+    # ------------------------------------------------------------------
+    # Storage backend factory
+    # ------------------------------------------------------------------
+    def create_backend(self, spec: Optional[object] = None, **kwargs: object):
+        """Instantiate the storage backend executing this deployment's queries.
+
+        *spec* overrides the configuration's :attr:`backend` name; it may be
+        a registry name, a backend class, or a ready instance (see
+        :func:`repro.storage.backends.create_backend`).
+        """
+        from ..storage.backends import create_backend
+
+        return create_backend(spec if spec is not None else self.backend, **kwargs)
 
     # ------------------------------------------------------------------
     # Derived artifacts

@@ -10,28 +10,28 @@ them:
 * the **published side**: instance documents for the public schema, either
   registered explicitly or materialized by evaluating the XML views over the
   proprietary data;
-* the **proprietary side**: an in-memory database holding the relational
-  tables, the GReX encodings of stored XML documents, and the extents of the
-  materialized relational views.
+* the **proprietary side**: a pluggable :class:`~repro.storage.backends.StorageBackend`
+  holding the relational tables, the GReX encodings of stored XML documents,
+  and the extents of the materialized relational views.  The default
+  ``memory`` backend is the original in-memory evaluator; the ``sqlite``
+  backend executes the generated SQL on a real relational engine.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Tuple, Type, Union
 
 from ..compile.view_compiler import RelationalView
-from ..errors import EvaluationError
-from ..logical.queries import ConjunctiveQuery
-from ..storage.evaluation import evaluate_query
-from ..storage.relational_db import InMemoryDatabase
+from ..logical.queries import ConjunctiveQuery, UnionQuery
+from ..storage.backends import StorageBackend, create_backend
 from ..xbind.evaluation import MixedStorage, evaluate_xbind
 from ..xbind.query import XBindQuery
-from ..xmlmodel.model import XMLDocument
 from .configuration import MarsConfiguration
 
 Row = Tuple[object, ...]
+BackendSpec = Union[None, str, StorageBackend, Type[StorageBackend]]
 
 
 @dataclass
@@ -61,35 +61,57 @@ class ExecutionComparison:
 
 
 class MarsExecutor:
-    """Builds instance data for a configuration and runs queries against it."""
+    """Builds instance data for a configuration and runs queries against it.
 
-    def __init__(self, configuration: MarsConfiguration):
+    *backend* selects the engine holding the proprietary relational storage:
+    ``None`` defers to ``configuration.backend`` (default ``"memory"``), a
+    string is resolved through the backend registry, and an existing
+    :class:`StorageBackend` instance is used as-is.
+    """
+
+    def __init__(
+        self, configuration: MarsConfiguration, backend: BackendSpec = None
+    ):
         self.configuration = configuration
+        if backend is None:
+            self.backend = configuration.create_backend()
+        else:
+            self.backend = create_backend(backend)
+        # Only close backends this executor created; an injected instance
+        # may be shared with other executors and stays the caller's to close.
+        self._owns_backend = self.backend is not backend
+        # Backwards-compatible alias: the proprietary relational store.  For
+        # the memory backend this is the wrapped InMemoryDatabase; other
+        # backends implement the same store interface themselves.
+        self.database = getattr(self.backend, "database", self.backend)
         self.public_storage = MixedStorage()
-        self.proprietary_storage = MixedStorage()
-        self.database = InMemoryDatabase()
-        self.proprietary_storage.database = self.database
+        self.proprietary_storage = MixedStorage(database=self.backend)
         self._build()
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
         configuration = self.configuration
-        # Proprietary relational tables and their data.
+        backend = self.backend
+        # Proprietary relational tables and their data.  Pre-existing tables
+        # (a reused backend instance or an on-disk SQLite file) are cleared so
+        # rebuilding an executor is idempotent.
         for relation in configuration.relational_schema.relations:
-            if not self.database.has_table(relation.name):
-                self.database.create_table(
+            if not backend.has_table(relation.name):
+                backend.create_table(
                     relation.name, relation.arity, relation.attributes
                 )
+            else:
+                backend.clear_table(relation.name)
             rows = configuration.relational_data.get(relation.name)
             if rows:
-                self.database.table(relation.name).insert_many(rows)
+                backend.insert_many(relation.name, rows)
         # Proprietary XML documents: keep them navigable and materialize GReX.
         schemas = configuration.grex_schemas()
         for name, instance in configuration.proprietary_documents.items():
             if instance is None:
                 continue
             self.proprietary_storage.add_document(instance)
-            schemas[name].materialize(instance, self.database)
+            schemas[name].materialize(instance, backend)
         # Published documents: explicit instances, stored documents published
         # as-is, or materializations of the XML views.
         for name, instance in configuration.public_documents.items():
@@ -115,7 +137,7 @@ class MarsExecutor:
     def _view_source_storage(self) -> MixedStorage:
         """Storage visible to view definitions: proprietary docs + relational data."""
         storage = MixedStorage(
-            documents=dict(self.proprietary_storage.documents), database=self.database
+            documents=dict(self.proprietary_storage.documents), database=self.backend
         )
         for name, document in self.public_storage.documents.items():
             storage.documents.setdefault(name, document)
@@ -123,26 +145,32 @@ class MarsExecutor:
 
     def _materialize_relational_view(self, view: RelationalView) -> None:
         storage = MixedStorage(
-            documents=dict(self.public_storage.documents), database=self.database
+            documents=dict(self.public_storage.documents), database=self.backend
         )
         rows = evaluate_xbind(view.definition, storage)
-        if not self.database.has_table(view.name):
-            self.database.create_table(view.name, view.arity)
-        table = self.database.table(view.name)
-        table.clear()
-        table.insert_many(rows)
+        if not self.backend.has_table(view.name):
+            self.backend.create_table(view.name, view.arity)
+        else:
+            self.backend.clear_table(view.name)
+        self.backend.insert_many(view.name, rows)
 
     # ------------------------------------------------------------------
     def execute_original(self, query: XBindQuery) -> List[Row]:
         """Evaluate the client query directly over the published documents."""
         storage = MixedStorage(
-            documents=dict(self.public_storage.documents), database=self.database
+            documents=dict(self.public_storage.documents), database=self.backend
         )
         return evaluate_xbind(query, storage)
 
-    def execute_reformulation(self, query: ConjunctiveQuery) -> List[Row]:
-        """Evaluate a reformulation over the proprietary storage."""
-        return evaluate_query(query, self.database)
+    def execute_reformulation(
+        self, query: Union[ConjunctiveQuery, UnionQuery]
+    ) -> List[Row]:
+        """Execute a reformulation over the proprietary storage backend."""
+        return self.backend.execute(query)
+
+    def explain_reformulation(self, query: Union[ConjunctiveQuery, UnionQuery]) -> str:
+        """The backend's account of how it would run *query*."""
+        return self.backend.explain(query)
 
     def compare(
         self, original: XBindQuery, reformulation: ConjunctiveQuery, repeat: int = 1
@@ -168,6 +196,15 @@ class MarsExecutor:
     def statistics(self):
         """Refresh table statistics from the actual instance data."""
         stats = self.configuration.build_statistics()
-        for name, count in self.database.cardinalities().items():
+        for name, count in self.backend.cardinalities().items():
             stats.cardinalities[name] = float(count)
         return stats
+
+    def close(self) -> None:
+        """Release the backend's resources (e.g. the SQLite connection).
+
+        A backend instance passed in by the caller is left open — it may be
+        shared — and must be closed by whoever created it.
+        """
+        if self._owns_backend:
+            self.backend.close()

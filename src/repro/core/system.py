@@ -10,7 +10,8 @@ ranked by the plug-in cost estimator.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
 
 from ..engine.cb import CBConfig, CBEngine
 from ..engine.cost import CostEstimator, SimpleCostEstimator
@@ -48,6 +49,9 @@ class MarsSystem:
         self._engine = CBEngine(
             config=self.cb_config, estimator=self.estimator, specs=self._specs
         )
+        # Engines for per-call `minimize` overrides, built lazily and cached:
+        # rebuilding a CBEngine per reformulate() call is wasteful.
+        self._override_engines: Dict[bool, CBEngine] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -78,15 +82,13 @@ class MarsSystem:
         compiled = self.compile_query(query)
         engine = self._engine
         if minimize is not None and minimize != self.cb_config.minimize:
-            config = CBConfig(
-                chase=self.cb_config.chase,
-                backchase=self.cb_config.backchase,
-                use_shortcut=self.cb_config.use_shortcut,
-                use_plan_pruning=self.cb_config.use_plan_pruning,
-                use_legality_pruning=self.cb_config.use_legality_pruning,
-                minimize=minimize,
-            )
-            engine = CBEngine(config=config, estimator=self.estimator, specs=self._specs)
+            engine = self._override_engines.get(minimize)
+            if engine is None:
+                config = replace(self.cb_config, minimize=minimize)
+                engine = CBEngine(
+                    config=config, estimator=self.estimator, specs=self._specs
+                )
+                self._override_engines[minimize] = engine
         result = engine.reformulate(
             compiled, self._dependencies, target_relations=self._target_relations
         )
@@ -109,3 +111,15 @@ class MarsSystem:
     ) -> List[MarsReformulation]:
         """Reformulate a batch of decorrelated XBind queries (one client XQuery)."""
         return [self.reformulate(query) for query in queries]
+
+    # ------------------------------------------------------------------
+    def executor(self, backend: Optional[object] = None) -> "MarsExecutor":
+        """Build a :class:`MarsExecutor` for this configuration.
+
+        *backend* selects the storage backend running reformulations
+        (``"memory"``, ``"sqlite"``, a backend class or instance); ``None``
+        defers to ``configuration.backend``.
+        """
+        from .executor import MarsExecutor
+
+        return MarsExecutor(self.configuration, backend=backend)

@@ -1,17 +1,40 @@
-"""In-memory relational storage engine and query execution."""
+"""Relational storage: in-memory engine, SQL rendering, pluggable backends."""
 
+from .backends import (
+    MemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from .evaluation import evaluate_query, evaluate_union, materialize_view
 from .relational_db import InMemoryDatabase, Table
-from .sql import render_sql, render_union_sql
+from .sql import (
+    SQLQuery,
+    render_sql,
+    render_sql_query,
+    render_union_sql,
+    render_union_sql_query,
+)
 from .statistics import TableStatistics
 
 __all__ = [
     "InMemoryDatabase",
+    "MemoryBackend",
+    "SQLQuery",
+    "SQLiteBackend",
+    "StorageBackend",
     "Table",
     "TableStatistics",
+    "available_backends",
+    "create_backend",
     "evaluate_query",
     "evaluate_union",
     "materialize_view",
+    "register_backend",
     "render_sql",
+    "render_sql_query",
     "render_union_sql",
+    "render_union_sql_query",
 ]

@@ -1,0 +1,32 @@
+"""Pluggable storage backends executing MARS reformulations.
+
+The default ``memory`` backend runs the original hash-join evaluator; the
+``sqlite`` backend ships the parameterized SQL to a real relational engine.
+Select one with ``create_backend("sqlite")`` or via
+``MarsConfiguration.backend`` / ``MarsExecutor(configuration, backend=...)``.
+"""
+
+from .base import (
+    Query,
+    Row,
+    StorageBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from .memory import MemoryBackend
+from .sqlite import SQLiteBackend
+
+register_backend("memory", MemoryBackend)
+register_backend("sqlite", SQLiteBackend)
+
+__all__ = [
+    "MemoryBackend",
+    "Query",
+    "Row",
+    "SQLiteBackend",
+    "StorageBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]

@@ -1,0 +1,163 @@
+"""The storage-backend abstraction: where reformulations actually execute.
+
+MARS is middleware (paper Figure 2): it emits executable reformulations and
+ships them to whatever engine holds the proprietary storage.  A
+:class:`StorageBackend` is the reproduction's model of such an engine — a
+relational store that can be loaded with the proprietary tables (base
+relations, GReX encodings of stored XML documents, materialized view
+extents) and asked to execute conjunctive queries or unions thereof.
+
+Two implementations ship with the reproduction:
+
+* :class:`~repro.storage.backends.memory.MemoryBackend` — the original
+  in-memory hash-join evaluator, now behind the common interface;
+* :class:`~repro.storage.backends.sqlite.SQLiteBackend` — a real RDBMS
+  (stdlib ``sqlite3``) executing the parameterized SQL produced by
+  :func:`~repro.storage.sql.render_sql_query`, which validates the SQL
+  generation end-to-end.
+
+Backends are registered by name so configurations, examples and benchmarks
+can flip engines with a single string (``backend="sqlite"``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
+
+from ...errors import EvaluationError
+from ...logical.queries import ConjunctiveQuery, UnionQuery
+
+Row = Tuple[object, ...]
+Query = Union[ConjunctiveQuery, UnionQuery]
+
+
+class StorageBackend(abc.ABC):
+    """A named relational store that loads tuples and executes queries.
+
+    The interface doubles as the *relational store* contract used by the
+    upper layers (GReX materialization, XBind evaluation, statistics), so a
+    backend can stand wherever an
+    :class:`~repro.storage.relational_db.InMemoryDatabase` used to.
+    """
+
+    #: Registry name of the backend class (``"memory"``, ``"sqlite"``, ...).
+    backend_name: str = "abstract"
+
+    # -- schema and data loading ---------------------------------------
+    @abc.abstractmethod
+    def create_table(
+        self, name: str, arity: int, attributes: Optional[Sequence[str]] = None
+    ) -> None:
+        """Declare table *name*; raises if it already exists."""
+
+    @abc.abstractmethod
+    def has_table(self, name: str) -> bool:
+        ...
+
+    @abc.abstractmethod
+    def clear_table(self, name: str) -> None:
+        """Delete every row of *name*, keeping the table declared."""
+
+    @abc.abstractmethod
+    def insert_many(self, name: str, rows: Iterable[Sequence[object]]) -> None:
+        """Bulk-load *rows* into table *name*."""
+
+    def insert(self, name: str, row: Sequence[object]) -> None:
+        self.insert_many(name, [row])
+
+    # -- inspection ----------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def table_names(self) -> Tuple[str, ...]:
+        ...
+
+    @abc.abstractmethod
+    def rows(self, name: str) -> Sequence[Row]:
+        """The current rows of table *name* (multiset, insertion order)."""
+
+    @abc.abstractmethod
+    def cardinalities(self) -> Dict[str, int]:
+        """Mapping of table name to row count, used by the cost estimators."""
+
+    def cardinality(self, name: str) -> int:
+        """Number of rows in *name* (0 if the table does not exist)."""
+        if not self.has_table(name):
+            return 0
+        return len(self.rows(name))
+
+    # -- execution -----------------------------------------------------
+    @abc.abstractmethod
+    def execute(self, query: Query, distinct: bool = True) -> List[Row]:
+        """Execute a conjunctive query or a union and return the head tuples."""
+
+    @abc.abstractmethod
+    def explain(self, query: Query) -> str:
+        """A human-readable account of how the backend would run *query*."""
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Release engine resources; the default implementation is a no-op."""
+
+    def __enter__(self) -> "StorageBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_table(name)
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{name}({count})" for name, count in sorted(self.cardinalities().items())
+        )
+        return f"{type(self).__name__}[{parts}]"
+
+
+# ----------------------------------------------------------------------
+# Registry and factory
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[StorageBackend]] = {}
+
+
+def register_backend(name: str, backend_class: Type[StorageBackend]) -> None:
+    """Register *backend_class* under *name* for :func:`create_backend`."""
+    _REGISTRY[name] = backend_class
+    backend_class.backend_name = name
+
+
+def available_backends() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(
+    spec: Union[str, StorageBackend, Type[StorageBackend], None] = None,
+    **kwargs: object,
+) -> StorageBackend:
+    """Resolve *spec* into a live backend instance.
+
+    ``None`` means the default (``"memory"``); a string is looked up in the
+    registry; a class is instantiated; an existing instance is returned
+    unchanged (keyword arguments are then rejected).
+    """
+    if spec is None:
+        spec = "memory"
+    if isinstance(spec, StorageBackend):
+        if kwargs:
+            raise EvaluationError(
+                "cannot apply constructor arguments to an existing backend instance"
+            )
+        return spec
+    if isinstance(spec, type) and issubclass(spec, StorageBackend):
+        return spec(**kwargs)
+    if isinstance(spec, str):
+        try:
+            backend_class = _REGISTRY[spec]
+        except KeyError as error:
+            raise EvaluationError(
+                f"unknown storage backend {spec!r}; "
+                f"available: {', '.join(available_backends())}"
+            ) from error
+        return backend_class(**kwargs)
+    raise EvaluationError(f"cannot interpret backend specification {spec!r}")

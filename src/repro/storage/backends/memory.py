@@ -1,0 +1,85 @@
+"""The in-memory backend: the original hash-join evaluator behind the API.
+
+This wraps :class:`~repro.storage.relational_db.InMemoryDatabase` and
+:func:`~repro.storage.evaluation.evaluate_query` without changing their
+behaviour, so the default execution path of the reproduction is exactly
+what it was before the backend abstraction existed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...logical.queries import ConjunctiveQuery, UnionQuery
+from ...logical.terms import is_variable
+from ..evaluation import evaluate_query, evaluate_union
+from ..relational_db import InMemoryDatabase
+from .base import Query, Row, StorageBackend
+
+
+class MemoryBackend(StorageBackend):
+    """Executes queries with the naive hash-join evaluator over Python lists."""
+
+    backend_name = "memory"
+
+    def __init__(self, database: Optional[InMemoryDatabase] = None):
+        self.database = database or InMemoryDatabase()
+
+    # -- schema and data loading ---------------------------------------
+    def create_table(
+        self, name: str, arity: int, attributes: Optional[Sequence[str]] = None
+    ) -> None:
+        self.database.create_table(name, arity, attributes)
+
+    def has_table(self, name: str) -> bool:
+        return self.database.has_table(name)
+
+    def clear_table(self, name: str) -> None:
+        self.database.clear_table(name)
+
+    def insert_many(self, name: str, rows: Iterable[Sequence[object]]) -> None:
+        self.database.insert_many(name, rows)
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        return self.database.table_names
+
+    def rows(self, name: str) -> Sequence[Row]:
+        return self.database.rows(name)
+
+    def cardinalities(self) -> Dict[str, int]:
+        return self.database.cardinalities()
+
+    def cardinality(self, name: str) -> int:
+        return self.database.cardinality(name)
+
+    # -- execution -----------------------------------------------------
+    def execute(self, query: Query, distinct: bool = True) -> List[Row]:
+        if isinstance(query, UnionQuery):
+            return evaluate_union(query, self.database, distinct=distinct)
+        return evaluate_query(query, self.database, distinct=distinct)
+
+    def explain(self, query: Query) -> str:
+        """Describe the left-to-right hash-join order the evaluator will use."""
+        if isinstance(query, UnionQuery):
+            parts = [self.explain(disjunct) for disjunct in query]
+            return "\nUNION\n".join(parts)
+        query = query.normalize_equalities()
+        lines = [f"hash-join pipeline for {query.name}:"]
+        bound = set()
+        for step, atom in enumerate(query.relational_body, start=1):
+            probe_positions = [
+                index
+                for index, term in enumerate(atom.terms)
+                if not is_variable(term) or term in bound
+            ]
+            count = self.database.cardinality(atom.relation)
+            mode = (
+                f"probe on positions {probe_positions}" if probe_positions else "scan"
+            )
+            lines.append(f"  {step}. {atom.relation} [{count} rows, {mode}]")
+            bound.update(term for term in atom.terms if is_variable(term))
+        if not query.relational_body:
+            lines.append("  (no relational atoms: constant-only evaluation)")
+        return "\n".join(lines)

@@ -96,6 +96,14 @@ class InMemoryDatabase:
     def insert_many(self, name: str, rows: Iterable[Sequence[object]]) -> None:
         self.table(name).insert_many(rows)
 
+    def clear_table(self, name: str) -> None:
+        """Delete every row of *name* (the table itself remains declared)."""
+        self.table(name).clear()
+
+    def rows(self, name: str) -> Tuple[Row, ...]:
+        """The rows of table *name*, in insertion order."""
+        return self.table(name).rows
+
     def cardinality(self, name: str) -> int:
         """Number of rows in *name* (0 if the table does not exist)."""
         if name not in self._tables:

@@ -26,15 +26,20 @@ Binding = Dict[Variable, Value]
 
 
 class MixedStorage:
-    """A set of named XML documents plus an in-memory relational database."""
+    """A set of named XML documents plus a relational store.
+
+    ``database`` is anything with the relational-store interface
+    (``has_table``/``rows``): the default :class:`InMemoryDatabase` or a
+    :class:`~repro.storage.backends.StorageBackend`.
+    """
 
     def __init__(
         self,
         documents: Optional[Mapping[str, XMLDocument]] = None,
-        database: Optional[InMemoryDatabase] = None,
+        database: Optional[object] = None,
     ):
         self.documents: Dict[str, XMLDocument] = dict(documents or {})
-        self.database = database or InMemoryDatabase()
+        self.database = database if database is not None else InMemoryDatabase()
 
     def add_document(self, document: XMLDocument) -> None:
         self.documents[document.name] = document
@@ -173,11 +178,11 @@ def _owning_document(node: XMLNode, storage: MixedStorage) -> XMLDocument:
 
 
 def _apply_relational_atom(
-    atom: RelationalAtom, bindings: List[Binding], database: InMemoryDatabase
+    atom: RelationalAtom, bindings: List[Binding], database: object
 ) -> List[Binding]:
     if not database.has_table(atom.relation):
         raise EvaluationError(f"unknown table {atom.relation!r} in XBind query")
-    rows = database.table(atom.relation).rows
+    rows = database.rows(atom.relation)
     output: List[Binding] = []
     for binding in bindings:
         for row in rows:

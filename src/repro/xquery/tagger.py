@@ -150,7 +150,7 @@ def evaluate_blocks(decorrelated: DecorrelatedQuery, storage) -> Dict[str, List[
         database = storage.database
         if not database.has_table(block.name):
             database.create_table(block.name, len(block.head))
-        table = database.table(block.name)
-        table.clear()
-        table.insert_many(rows)
+        else:
+            database.clear_table(block.name)
+        database.insert_many(block.name, rows)
     return bindings

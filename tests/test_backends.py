@@ -1,0 +1,384 @@
+"""The storage-backend subsystem: protocol, SQLite executor, equivalence.
+
+The cross-backend suite is the end-to-end validation of the SQL generation:
+for every reformulation produced by the medical, star and XMark example
+configurations, the SQLite backend must return exactly the row multiset the
+in-memory evaluator returns.
+"""
+
+import pytest
+
+from repro.core import MarsConfiguration, MarsExecutor, MarsSystem
+from repro.xbind import MixedStorage
+from repro.xmlmodel import XMLDocument, XMLNode
+from repro.xquery import (
+    Comparison,
+    ElementConstructor,
+    PathExpression,
+    VariableRef,
+    decorrelate,
+    evaluate_blocks,
+    xquery,
+)
+from repro.errors import EvaluationError, SchemaError
+from repro.logical.atoms import RelationalAtom
+from repro.logical.queries import ConjunctiveQuery, UnionQuery
+from repro.logical.terms import Constant, Variable
+from repro.storage.backends import (
+    MemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    available_backends,
+    create_backend,
+)
+from repro.workloads import medical, star, xmark
+from repro.workloads.star import StarParameters
+
+BACKEND_NAMES = ("memory", "sqlite")
+
+
+def multiset(rows):
+    return sorted(map(repr, rows))
+
+
+# ----------------------------------------------------------------------
+# Protocol-level behaviour, identical across implementations
+# ----------------------------------------------------------------------
+@pytest.fixture(params=BACKEND_NAMES)
+def backend(request):
+    instance = create_backend(request.param)
+    yield instance
+    instance.close()
+
+
+class TestBackendProtocol:
+    def test_create_insert_rows(self, backend):
+        backend.create_table("r", 2, ("a", "b"))
+        backend.insert_many("r", [(1, "x"), (2, "y"), (1, "x")])
+        assert backend.has_table("r")
+        assert "r" in backend
+        assert tuple(backend.rows("r")) == ((1, "x"), (2, "y"), (1, "x"))
+        assert backend.cardinality("r") == 3
+        assert backend.cardinalities() == {"r": 3}
+        assert "r" in backend.table_names
+
+    def test_clear_table(self, backend):
+        backend.create_table("r", 1)
+        backend.insert_many("r", [(1,), (2,)])
+        backend.clear_table("r")
+        assert backend.has_table("r")
+        assert backend.cardinality("r") == 0
+
+    def test_duplicate_create_raises(self, backend):
+        backend.create_table("r", 1)
+        with pytest.raises(SchemaError):
+            backend.create_table("r", 1)
+
+    def test_arity_mismatch_raises(self, backend):
+        backend.create_table("r", 2)
+        with pytest.raises(EvaluationError):
+            backend.insert_many("r", [(1, 2, 3)])
+
+    def test_unknown_table_raises(self, backend):
+        with pytest.raises(EvaluationError):
+            backend.rows("missing")
+        assert backend.cardinality("missing") == 0
+
+    def test_execute_join_with_constants(self, backend):
+        backend.create_table("r", 2, ("a", "b"))
+        backend.create_table("s", 2, ("b", "c"))
+        backend.insert_many("r", [(1, 10), (2, 20), (3, 10)])
+        backend.insert_many("s", [(10, "ten"), (20, "twenty")])
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        query = ConjunctiveQuery(
+            "q",
+            (x, z),
+            (RelationalAtom("r", (x, y)), RelationalAtom("s", (y, z))),
+        )
+        assert multiset(backend.execute(query)) == multiset(
+            [(1, "ten"), (3, "ten"), (2, "twenty")]
+        )
+        selective = ConjunctiveQuery(
+            "q1",
+            (x,),
+            (RelationalAtom("r", (x, Constant(10))),),
+        )
+        assert multiset(backend.execute(selective)) == multiset([(1,), (3,)])
+
+    def test_execute_union_and_distinct(self, backend):
+        backend.create_table("r", 1)
+        backend.insert_many("r", [(1,), (1,), (2,)])
+        x = Variable("x")
+        query = ConjunctiveQuery("q", (x,), (RelationalAtom("r", (x,)),))
+        union = UnionQuery("u", (query, query))
+        assert multiset(backend.execute(union)) == multiset([(1,), (2,)])
+        assert len(backend.execute(query, distinct=False)) == 3
+
+    def test_execute_unknown_relation_raises(self, backend):
+        x = Variable("x")
+        query = ConjunctiveQuery("q", (x,), (RelationalAtom("nope", (x,)),))
+        with pytest.raises(EvaluationError):
+            backend.execute(query)
+
+    def test_explain_mentions_relations(self, backend):
+        backend.create_table("r", 2, ("a", "b"))
+        backend.insert_many("r", [(1, 2)])
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery("q", (x,), (RelationalAtom("r", (x, y)),))
+        plan = backend.explain(query)
+        assert isinstance(plan, str) and plan
+
+    def test_evaluate_blocks_over_backend_storage(self, backend):
+        """The decorrelated-XQuery pipeline runs when the store is a backend."""
+        root = XMLNode("bib")
+        for title, author in [("TAPL", "Pierce"), ("DBBook", "Hull")]:
+            book = root.add("book")
+            book.add("title", title)
+            book.add("author", author)
+        document = XMLDocument("bib.xml", root)
+        inner = xquery(
+            for_clauses=[
+                ("b", PathExpression("//book")),
+                ("a1", PathExpression("./author/text()", source="b")),
+                ("t", PathExpression("./title/text()", source="b")),
+            ],
+            where=[Comparison("a", "a1")],
+            return_expr=ElementConstructor("title", [VariableRef("t")]),
+        )
+        outer = xquery(
+            for_clauses=[("a", PathExpression("//author/text()", distinct=True))],
+            return_expr=ElementConstructor(
+                "item", [ElementConstructor("writer", [VariableRef("a")]), inner]
+            ),
+        )
+        decorrelated = decorrelate(outer, default_document="bib.xml")
+        storage = MixedStorage({"bib.xml": document}, database=backend)
+        bindings = evaluate_blocks(decorrelated, storage)
+        assert len(bindings) == 2
+        outer_block = decorrelated.blocks[0]
+        assert backend.has_table(outer_block.name)
+        assert sorted(backend.rows(outer_block.name)) == [("Hull",), ("Pierce",)]
+
+
+class TestBackendFactory:
+    def test_registry_names(self):
+        assert set(BACKEND_NAMES) <= set(available_backends())
+
+    def test_default_is_memory(self):
+        assert isinstance(create_backend(None), MemoryBackend)
+
+    def test_instance_passthrough(self):
+        instance = MemoryBackend()
+        assert create_backend(instance) is instance
+
+    def test_class_spec(self):
+        assert isinstance(create_backend(SQLiteBackend), SQLiteBackend)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(EvaluationError):
+            create_backend("oracle9i")
+
+    def test_configuration_hook(self):
+        configuration = MarsConfiguration("conf")
+        assert isinstance(configuration.create_backend(), MemoryBackend)
+        configuration.backend = "sqlite"
+        assert isinstance(configuration.create_backend(), SQLiteBackend)
+
+    def test_system_executor_hook(self):
+        configuration = medical.build_configuration()
+        system = MarsSystem(configuration)
+        executor = system.executor(backend="sqlite")
+        assert isinstance(executor.backend, SQLiteBackend)
+        result = system.reformulate(medical.client_query())
+        assert executor.execute_reformulation(result.best)
+
+    def test_close_spares_injected_backend(self):
+        """executor.close() must not close a backend instance it was handed."""
+        configuration = medical.build_configuration()
+        system = MarsSystem(configuration)
+        result = system.reformulate(medical.client_query())
+        shared = SQLiteBackend()
+        first = MarsExecutor(configuration, backend=shared)
+        first.close()
+        # the shared backend is still usable by others
+        second = MarsExecutor(configuration, backend=shared)
+        assert second.execute_reformulation(result.best)
+        shared.close()
+
+    def test_close_owned_backend(self):
+        configuration = medical.build_configuration()
+        system = MarsSystem(configuration)
+        result = system.reformulate(medical.client_query())
+        executor = MarsExecutor(configuration, backend="sqlite")
+        executor.close()
+        with pytest.raises(EvaluationError):
+            executor.execute_reformulation(result.best)
+
+
+# ----------------------------------------------------------------------
+# SQLite-specific behaviour
+# ----------------------------------------------------------------------
+class TestSQLiteBackend:
+    def test_indexes_created_on_join_columns(self):
+        backend = SQLiteBackend()
+        backend.create_table("r", 2, ("a", "b"))
+        backend.create_table("s", 2, ("b", "c"))
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        query = ConjunctiveQuery(
+            "q",
+            (x, z),
+            (RelationalAtom("r", (x, y)), RelationalAtom("s", (y, z))),
+        )
+        created = backend.ensure_indexes(query)
+        assert "ix_r__b" in created and "ix_s__b" in created
+        # idempotent on the second call
+        assert backend.ensure_indexes(query) == []
+
+    def test_explain_query_plan(self):
+        backend = SQLiteBackend()
+        backend.create_table("r", 2, ("a", "b"))
+        backend.insert_many("r", [(1, 2)])
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery(
+            "q", (y,), (RelationalAtom("r", (Constant(1), y)),)
+        )
+        plan = backend.explain(query)
+        assert "sqlite plan" in plan
+        assert "r" in plan
+
+    def test_compile_query_is_parameterized(self):
+        backend = SQLiteBackend()
+        backend.create_table("r", 2, ("a", "b"))
+        x = Variable("x")
+        query = ConjunctiveQuery(
+            "q", (x,), (RelationalAtom("r", (x, Constant("it's"))),)
+        )
+        statement = backend.compile_query(query)
+        assert "?" in statement.sql
+        assert statement.params == ("it's",)
+        assert "it's" not in statement.sql
+
+    def test_reopen_existing_database_file(self, tmp_path):
+        """A second executor over the same file rebuilds instead of crashing."""
+        path = str(tmp_path / "mars.db")
+        configuration = medical.build_configuration()
+        system = MarsSystem(configuration)
+        result = system.reformulate(medical.client_query())
+        first = MarsExecutor(configuration, backend=SQLiteBackend(path=path))
+        rows_first = first.execute_reformulation(result.best)
+        first.backend.close()
+        reopened = SQLiteBackend(path=path)
+        assert reopened.has_table("patientDiag")
+        second = MarsExecutor(configuration, backend=reopened)
+        rows_second = second.execute_reformulation(result.best)
+        assert multiset(rows_first) == multiset(rows_second)
+        # base tables were cleared on rebuild, not appended to
+        assert second.backend.cardinality("patientDiag") == len(
+            medical.DEFAULT_PATIENTS
+        )
+        second.close()
+
+    def test_quoted_identifiers(self):
+        backend = SQLiteBackend()
+        backend.create_table("tag__catalog_xml", 2, ("node", "tag"))
+        backend.insert_many("tag__catalog_xml", [("n1", "drug")])
+        x = Variable("x")
+        query = ConjunctiveQuery(
+            "q",
+            (x,),
+            (RelationalAtom("tag__catalog_xml", (x, Constant("drug"))),),
+        )
+        assert backend.execute(query) == [("n1",)]
+
+
+# ----------------------------------------------------------------------
+# Cross-backend equivalence on the paper workloads (end-to-end SQL check)
+# ----------------------------------------------------------------------
+def equivalence_cases():
+    medical_configuration = medical.build_configuration()
+    yield "medical", medical_configuration, [
+        medical.client_query(),
+        medical.drug_usage_query(),
+    ]
+    star_parameters = StarParameters(corners=3, hub_count=12, corner_size=10)
+    yield "star", star.build_configuration(star_parameters, with_instance=True), [
+        star.client_query(star_parameters)
+    ]
+    xmark_configuration = xmark.build_configuration(
+        xmark.XMarkParameters(items_per_region=6, people=10, closed_auctions=12)
+    )
+    yield "xmark", xmark_configuration, xmark.query_suite()
+
+
+@pytest.mark.parametrize(
+    "name,configuration,queries",
+    list(equivalence_cases()),
+    ids=lambda value: value if isinstance(value, str) else "",
+)
+class TestCrossBackendEquivalence:
+    def test_backends_agree_on_every_reformulation(
+        self, name, configuration, queries
+    ):
+        system = MarsSystem(configuration)
+        memory_executor = MarsExecutor(configuration, backend="memory")
+        sqlite_executor = MarsExecutor(configuration, backend="sqlite")
+        for query in queries:
+            result = system.reformulate(query)
+            assert result.found, f"{name}: no reformulation for {query.name}"
+            memory_rows = memory_executor.execute_reformulation(result.best)
+            sqlite_rows = sqlite_executor.execute_reformulation(result.best)
+            assert multiset(memory_rows) == multiset(sqlite_rows), (
+                f"{name}/{query.name}: backends disagree"
+            )
+            # Every minimal reformulation must agree as well, not just the best.
+            for candidate in result.minimal:
+                assert multiset(
+                    memory_executor.execute_reformulation(candidate)
+                ) == multiset(sqlite_executor.execute_reformulation(candidate)), (
+                    f"{name}/{query.name}: disagreement on {candidate.name}"
+                )
+        sqlite_executor.close()
+
+    def test_sqlite_matches_original_answers(self, name, configuration, queries):
+        """Reuse MarsExecutor.compare: reformulations on SQLite answer the query."""
+        system = MarsSystem(configuration)
+        executor = MarsExecutor(configuration, backend="sqlite")
+        for query in queries:
+            result = system.reformulate(query)
+            comparison = executor.compare(query, result.best)
+            assert comparison.answers_match, f"{name}/{query.name}"
+        executor.close()
+
+    def test_statistics_reflect_backend_contents(self, name, configuration, queries):
+        executor = MarsExecutor(configuration, backend="sqlite")
+        stats = executor.statistics()
+        for relation, count in executor.backend.cardinalities().items():
+            assert stats.cardinalities[relation] == float(count)
+        executor.close()
+
+
+# ----------------------------------------------------------------------
+# The minimize-override engine cache (MarsSystem.reformulate satellite)
+# ----------------------------------------------------------------------
+class TestMinimizeOverrideCache:
+    def test_override_engine_is_cached(self):
+        configuration = medical.build_configuration()
+        system = MarsSystem(configuration)
+        assert system._override_engines == {}
+        first = system.reformulate(medical.client_query(), minimize=False)
+        assert first.found and first.initial is not None
+        engine = system._override_engines[False]
+        assert engine.config.minimize is False
+        # the non-minimize config inherits every other flag unchanged
+        assert engine.config.chase is system.cb_config.chase
+        assert engine.config.backchase is system.cb_config.backchase
+        second = system.reformulate(medical.drug_usage_query(), minimize=False)
+        assert second.found
+        assert system._override_engines[False] is engine
+
+    def test_matching_override_uses_default_engine(self):
+        configuration = medical.build_configuration()
+        system = MarsSystem(configuration)
+        result = system.reformulate(medical.client_query(), minimize=True)
+        assert result.found
+        assert system._override_engines == {}

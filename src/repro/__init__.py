@@ -16,6 +16,8 @@ Public entry points
 :class:`repro.engine.CBEngine`
     The underlying Chase & Backchase engine, usable on purely relational
     reformulation problems as well.
+:class:`repro.serve.PublishingService`
+    Thread-safe concurrent serving: plan cache + pooled backend connections.
 """
 
 from .core import MarsConfiguration, MarsExecutor, MarsReformulation, MarsSystem
@@ -28,13 +30,16 @@ from .errors import (
     ReformulationError,
     SchemaError,
     SpecializationError,
+    StorageError,
 )
+from .serve import ConnectionPool, PlanCache, PublishingService
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ChaseError",
     "CompilationError",
+    "ConnectionPool",
     "EvaluationError",
     "MarsConfiguration",
     "MarsError",
@@ -42,8 +47,11 @@ __all__ = [
     "MarsReformulation",
     "MarsSystem",
     "ParseError",
+    "PlanCache",
+    "PublishingService",
     "ReformulationError",
     "SchemaError",
     "SpecializationError",
+    "StorageError",
     "__version__",
 ]

@@ -30,6 +30,7 @@ from ..engine.shortcut import ClosureSpec
 from ..errors import SchemaError
 from ..logical.dependencies import DED
 from ..logical.schema import RelationalSchema
+from ..storage.backends import default_backend_name
 from ..storage.statistics import TableStatistics
 from ..xmlmodel.model import XMLDocument
 
@@ -54,8 +55,14 @@ class MarsConfiguration:
         self.xml_access_weight = DEFAULT_XML_ACCESS_WEIGHT
         self.include_disjunctive_tix = False
         # Name of the storage backend executing reformulations ("memory",
-        # "sqlite", ...); examples and benchmarks flip engines with this flag.
-        self.backend: str = "memory"
+        # "sqlite", ...); examples and benchmarks flip engines with this
+        # flag.  The default honours the MARS_BACKEND environment variable,
+        # so the test suite can run its entire matrix on either engine.
+        self.backend: str = default_backend_name()
+        # Serving defaults used by repro.serve.PublishingService: how many
+        # pooled connections to hand out and how many cached plans to keep.
+        self.pool_size: int = 4
+        self.plan_cache_size: int = 128
 
     # ------------------------------------------------------------------
     # Declarations

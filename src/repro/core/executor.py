@@ -165,7 +165,14 @@ class MarsExecutor:
     def execute_reformulation(
         self, query: Union[ConjunctiveQuery, UnionQuery]
     ) -> List[Row]:
-        """Execute a reformulation over the proprietary storage backend."""
+        """Execute a reformulation over the proprietary storage backend.
+
+        A whole :class:`UnionQuery` is pushed through the backend's batch
+        entry point, which real engines run as a single ``UNION`` statement
+        (one round trip) rather than one execution per disjunct.
+        """
+        if isinstance(query, UnionQuery):
+            return self.backend.execute_union(query)
         return self.backend.execute(query)
 
     def explain_reformulation(self, query: Union[ConjunctiveQuery, UnionQuery]) -> str:
@@ -204,7 +211,8 @@ class MarsExecutor:
         """Release the backend's resources (e.g. the SQLite connection).
 
         A backend instance passed in by the caller is left open — it may be
-        shared — and must be closed by whoever created it.
+        shared — and must be closed by whoever created it.  Idempotent:
+        services tear executors down from multiple exit paths.
         """
-        if self._owns_backend:
+        if self._owns_backend and not self.backend.closed:
             self.backend.close()

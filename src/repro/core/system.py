@@ -32,9 +32,16 @@ class MarsSystem:
         configuration: MarsConfiguration,
         estimator: Optional[CostEstimator] = None,
         cb_config: Optional[CBConfig] = None,
+        plan_cache: Optional[object] = None,
     ):
         self.configuration = configuration
         self.cb_config = cb_config or CBConfig()
+        # An optional LRU cache of finished reformulations (any object with
+        # thread-safe get/put, normally a repro.serve.cache.PlanCache),
+        # keyed on the client query's structural fingerprint.  With a cache
+        # attached, a repeated query skips compilation, chase and backchase
+        # entirely.  None (the default) preserves uncached behaviour.
+        self.plan_cache = plan_cache
         # The default estimator must be cheap: the backchase estimates the cost
         # of every candidate subquery.  The join-order-aware DP estimator can
         # be plugged in explicitly for final plan ranking.
@@ -78,7 +85,21 @@ class MarsSystem:
         When *minimize* is ``False`` only the initial reformulation is
         produced (the paper's "switch off the backchase" mode); the default
         follows the engine configuration.
+
+        With a :attr:`plan_cache` attached, the finished
+        :class:`MarsReformulation` is memoized on the query fingerprint and
+        the effective minimize mode; cached results are returned as-is
+        (they are treated as immutable).
         """
+        cache_key = None
+        if self.plan_cache is not None:
+            effective_minimize = (
+                self.cb_config.minimize if minimize is None else minimize
+            )
+            cache_key = (query.fingerprint(), effective_minimize)
+            cached = self.plan_cache.get(cache_key)
+            if cached is not None:
+                return cached
         compiled = self.compile_query(query)
         engine = self._engine
         if minimize is not None and minimize != self.cb_config.minimize:
@@ -95,7 +116,12 @@ class MarsSystem:
         sql = None
         if result.best is not None:
             sql = render_sql(result.best, self.configuration.relational_schema)
-        return MarsReformulation.from_cb_result(query, compiled, result, sql)
+        reformulation = MarsReformulation.from_cb_result(query, compiled, result, sql)
+        if cache_key is not None:
+            # Negative results are cached too: "no reformulation exists" is
+            # just as expensive to recompute.
+            self.plan_cache.put(cache_key, reformulation)
+        return reformulation
 
     def reformulate_or_fail(self, query: XBindQuery) -> MarsReformulation:
         """Like :meth:`reformulate` but raise when no reformulation exists."""
@@ -123,3 +149,14 @@ class MarsSystem:
         from .executor import MarsExecutor
 
         return MarsExecutor(self.configuration, backend=backend)
+
+    def service(self, **kwargs: object) -> "PublishingService":
+        """Build a thread-safe :class:`~repro.serve.PublishingService`.
+
+        The service reuses this system (and attaches a plan cache to it if
+        none is present); keyword arguments are forwarded — ``backend``,
+        ``pool_size``, ``cache_size``, ``strategy``, ...
+        """
+        from ..serve import PublishingService
+
+        return PublishingService(self.configuration, system=self, **kwargs)

@@ -41,5 +41,13 @@ class EvaluationError(MarsError):
     """Raised when a query cannot be evaluated against the in-memory storage."""
 
 
+class StorageError(EvaluationError):
+    """Raised for storage-backend lifecycle misuse (double close, use after
+    close, exhausted or closed connection pools).
+
+    Subclasses :class:`EvaluationError` so callers that treat backend
+    failures uniformly keep working."""
+
+
 class SpecializationError(MarsError):
     """Raised for invalid schema-specialization mappings."""

@@ -1,0 +1,27 @@
+"""Concurrent serving of MARS reformulations from pooled storage.
+
+The :class:`PublishingService` is the front door of a deployment: a
+thread-safe ``publish(query) -> rows`` API combining a plan cache (repeat
+queries skip the C&B engine), a connection pool (SQLite handles are not
+shareable across threads) and single-round-trip union execution.
+"""
+
+from .cache import CacheStats, PlanCache
+from .pool import ConnectionPool, PoolStats
+from .service import (
+    STRATEGY_BEST,
+    STRATEGY_UNION,
+    PublishingService,
+    ServiceStats,
+)
+
+__all__ = [
+    "CacheStats",
+    "ConnectionPool",
+    "PlanCache",
+    "PoolStats",
+    "PublishingService",
+    "STRATEGY_BEST",
+    "STRATEGY_UNION",
+    "ServiceStats",
+]

@@ -1,0 +1,113 @@
+"""A thread-safe LRU cache for reformulation plans.
+
+Reformulating one client query runs the full Chase & Backchase — orders of
+magnitude more expensive than executing the resulting plan on small
+instances.  A publishing site serves the *same* queries over and over
+(every page render poses the same XBind query with fresh variable names),
+so :class:`PlanCache` memoizes the finished
+:class:`~repro.core.reformulation.MarsReformulation` keyed on the query's
+structural :meth:`~repro.xbind.query.XBindQuery.fingerprint`.  A cache hit
+skips the C&B engine entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters, snapshotted under the cache lock."""
+
+    maxsize: int
+    current_size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """Bounded LRU mapping of plan keys to cached reformulations.
+
+    The cache is value-agnostic (any object can be stored), so the system
+    can cache whole :class:`MarsReformulation` results and tests can cache
+    sentinels.  ``None`` is not a legal value — it is the miss marker.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"plan cache needs maxsize >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value for *key*, refreshed as most recently used."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store *value* under *key*, evicting the least recently used entry."""
+        if value is None:
+            raise ValueError("PlanCache cannot store None (the miss marker)")
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                maxsize=self.maxsize,
+                current_size=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; they describe the lifetime)."""
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        with self._lock:
+            return tuple(self._entries)

@@ -1,0 +1,174 @@
+"""Checkout/checkin pooling of storage-backend connections.
+
+A :class:`ConnectionPool` wraps one fully-built *template* backend (the one
+a :class:`~repro.core.executor.MarsExecutor` loaded with the proprietary
+tables) and hands out up to ``size`` clones of it, one per concurrent
+client.  All clones are created eagerly, in the constructing thread,
+through :meth:`~repro.storage.backends.StorageBackend.clone` — cloning may
+need to *read* the template (SQLite's backup API), and the template
+connection keeps its thread affinity, so clone creation must not happen
+lazily on whichever serving thread first runs dry.  The clones themselves
+are thread-portable:
+
+* ``memory`` clones share the underlying tables (reads of Python lists are
+  thread-safe);
+* ``sqlite`` clones are fresh connections — a second connection to the same
+  file, or a backup-API snapshot for ``:memory:`` databases — created with
+  ``check_same_thread=False`` so a connection built by one thread can later
+  be checked out by another.
+
+The pool never hands the same connection to two threads at once, so no
+backend-internal locking is needed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional
+
+from ..errors import StorageError
+from ..storage.backends import StorageBackend
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """A snapshot of pool activity, taken under the pool lock."""
+
+    size: int
+    created: int
+    in_use: int
+    checkouts: int
+    peak_in_use: int
+    wait_count: int
+
+
+class ConnectionPool:
+    """Bounded checkout/checkin pool of backend clones.
+
+    The *template* backend stays owned by the caller (typically the
+    executor that built it); the pool owns only the clones it creates and
+    closes them in :meth:`close`.
+    """
+
+    def __init__(self, template: StorageBackend, size: int = 4):
+        if size < 1:
+            raise StorageError(f"connection pool needs size >= 1, got {size}")
+        self.template = template
+        self.size = size
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._all: List[StorageBackend] = []
+        try:
+            for _ in range(size):
+                self._all.append(template.clone())
+        except Exception:
+            # Don't leak the clones that did come up when a later one fails.
+            for backend in self._all:
+                if not backend.closed:
+                    backend.close()
+            raise
+        self._idle: Deque[StorageBackend] = deque(self._all)
+        self._in_use = 0
+        self._checkouts = 0
+        self._peak_in_use = 0
+        self._wait_count = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def acquire(self, timeout: Optional[float] = None) -> StorageBackend:
+        """Check a connection out, blocking while the pool is exhausted.
+
+        Raises :class:`StorageError` when the pool is closed or *timeout*
+        seconds elapse without a connection becoming free.  The timeout is
+        a deadline for the whole call: being woken up and losing the idle
+        connection to another thread does not restart the clock.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._available:
+            waited = False
+            while True:
+                if self._closed:
+                    raise StorageError("cannot acquire from a closed pool")
+                if self._idle:
+                    backend = self._idle.pop()
+                    break
+                if not waited:
+                    waited = True
+                    self._wait_count += 1
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise StorageError(
+                            f"timed out after {timeout}s waiting for a pooled "
+                            f"connection (size={self.size})"
+                        )
+                self._available.wait(timeout=remaining)
+            self._in_use += 1
+            self._checkouts += 1
+            self._peak_in_use = max(self._peak_in_use, self._in_use)
+            return backend
+
+    def release(self, backend: StorageBackend) -> None:
+        """Return a checked-out connection to the pool."""
+        with self._available:
+            self._in_use -= 1
+            if self._closed:
+                if not backend.closed:
+                    backend.close()
+                return
+            self._idle.append(backend)
+            self._available.notify()
+
+    @contextmanager
+    def connection(self, timeout: Optional[float] = None) -> Iterator[StorageBackend]:
+        """``with pool.connection() as backend: ...`` checkout/checkin."""
+        backend = self.acquire(timeout=timeout)
+        try:
+            yield backend
+        finally:
+            self.release(backend)
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> PoolStats:
+        with self._lock:
+            return PoolStats(
+                size=self.size,
+                created=len(self._all),
+                in_use=self._in_use,
+                checkouts=self._checkouts,
+                peak_in_use=self._peak_in_use,
+                wait_count=self._wait_count,
+            )
+
+    def close(self) -> None:
+        """Close every pooled clone; in-flight checkouts close on release.
+
+        Idempotent (unlike backend ``close``): a service shutting down must
+        be able to run its teardown twice.  The template backend is not
+        touched.
+        """
+        with self._available:
+            if self._closed:
+                return
+            self._closed = True
+            idle = list(self._idle)
+            self._idle.clear()
+            self._available.notify_all()
+        for backend in idle:
+            if not backend.closed:
+                backend.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

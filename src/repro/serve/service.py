@@ -1,0 +1,250 @@
+"""The thread-safe publishing service: MARS behind a ``publish()`` call.
+
+This is the piece that turns the reproduction from a library into a
+servable system.  A :class:`PublishingService` owns
+
+* one :class:`~repro.core.system.MarsSystem` (the C&B reformulation
+  engine, serialized behind a lock — it is not reentrant) with an attached
+  :class:`~repro.serve.cache.PlanCache`, so a repeated client query costs a
+  cache lookup instead of a chase;
+* one :class:`~repro.core.executor.MarsExecutor` that builds the
+  proprietary instance data into a *template* backend exactly once;
+* one :class:`~repro.serve.pool.ConnectionPool` of backend clones, so many
+  threads can execute plans concurrently without sharing a SQLite
+  connection across threads.
+
+``publish(query)`` does cache-aware reformulation, checks a connection out
+of the pool, runs the plan (optionally the whole union of minimal
+reformulations as a single ``UNION`` round trip) and returns the rows.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.configuration import MarsConfiguration
+from ..core.executor import MarsExecutor
+from ..core.reformulation import MarsReformulation
+from ..core.system import MarsSystem
+from ..errors import ReformulationError, StorageError
+from ..logical.queries import ConjunctiveQuery, UnionQuery
+from ..xbind.query import XBindQuery
+from .cache import CacheStats, PlanCache
+from .pool import ConnectionPool, PoolStats
+
+Row = Tuple[object, ...]
+
+#: Execute only the cost-ranked best reformulation.
+STRATEGY_BEST = "best"
+#: Execute the union of every minimal reformulation in one round trip.
+STRATEGY_UNION = "union"
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One snapshot of service, plan-cache and pool counters."""
+
+    queries_served: int
+    reformulations_computed: int
+    cache: CacheStats
+    pool: PoolStats
+
+
+class PublishingService:
+    """Serve XBind queries concurrently from pooled proprietary storage.
+
+    Parameters default from the configuration (``backend``, ``pool_size``,
+    ``plan_cache_size``); pass *system* to reuse an already-built
+    :class:`MarsSystem` (its plan cache is adopted, or one is attached).
+    The service is safe to share between threads; close it (or use it as a
+    context manager) to release the pool and the template backend.
+    """
+
+    def __init__(
+        self,
+        configuration: MarsConfiguration,
+        backend: Optional[object] = None,
+        pool_size: Optional[int] = None,
+        cache_size: Optional[int] = None,
+        plan_cache: Optional[PlanCache] = None,
+        system: Optional[MarsSystem] = None,
+        strategy: str = STRATEGY_BEST,
+        checkout_timeout: Optional[float] = 30.0,
+    ):
+        if strategy not in (STRATEGY_BEST, STRATEGY_UNION):
+            raise ValueError(f"unknown execution strategy {strategy!r}")
+        self.configuration = configuration
+        self.strategy = strategy
+        self.checkout_timeout = checkout_timeout
+        if system is None:
+            system = MarsSystem(configuration)
+        if system.plan_cache is None:
+            if plan_cache is None:
+                size = (
+                    cache_size
+                    if cache_size is not None
+                    else configuration.plan_cache_size
+                )
+                plan_cache = PlanCache(maxsize=size)
+            system.plan_cache = plan_cache
+        self.system = system
+        self.plan_cache: PlanCache = system.plan_cache
+        # Build the instance data once, into the template backend the pool
+        # will clone from.
+        self.executor = MarsExecutor(configuration, backend=backend)
+        size = pool_size if pool_size is not None else configuration.pool_size
+        try:
+            self.pool = ConnectionPool(self.executor.backend, size=size)
+        except Exception:
+            # Don't leak the template connection when pooling fails (bad
+            # size, unclonable backend).
+            self.executor.close()
+            raise
+        # The C&B engine mutates per-call state deep inside the chase; it is
+        # correct but not reentrant, so reformulation is serialized.  Plan
+        # execution — the per-request hot path — runs fully in parallel.
+        self._reformulate_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._queries_served = 0
+        self._reformulations_computed = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Reformulation (cache-aware, serialized)
+    # ------------------------------------------------------------------
+    def reformulate(self, query: XBindQuery) -> MarsReformulation:
+        """The (possibly cached) reformulation the service would execute."""
+        cache = self.plan_cache
+        with self._reformulate_lock:
+            # Read the miss counter on both sides of the call while still
+            # holding the lock: read outside it, another thread's concurrent
+            # miss would be misattributed to this call.
+            before = cache.misses
+            reformulation = self.system.reformulate(query)
+            missed = cache.misses != before
+        if missed:
+            with self._counter_lock:
+                self._reformulations_computed += 1
+        return reformulation
+
+    def warm(self, queries: Sequence[XBindQuery]) -> int:
+        """Pre-populate the plan cache; returns how many plans were computed."""
+        before = self._reformulations_computed
+        for query in queries:
+            self.reformulate(query)
+        return self._reformulations_computed - before
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _check_strategy(self, strategy: Optional[str], distinct: bool) -> str:
+        effective = strategy or self.strategy
+        if effective not in (STRATEGY_BEST, STRATEGY_UNION):
+            raise ValueError(f"unknown execution strategy {effective!r}")
+        if effective == STRATEGY_UNION and not distinct:
+            raise ValueError(
+                "the union strategy executes all minimal reformulations, "
+                "which only agree under set semantics; distinct=False is "
+                "limited to the best-plan strategy"
+            )
+        return effective
+
+    def plan_for(
+        self, reformulation: MarsReformulation, strategy: Optional[str] = None
+    ):
+        """The executable plan for *reformulation* under *strategy*."""
+        if not reformulation.found:
+            raise ReformulationError(
+                f"no reformulation of {reformulation.query.name} against the "
+                "proprietary schema exists"
+            )
+        strategy = strategy or self.strategy
+        if strategy not in (STRATEGY_BEST, STRATEGY_UNION):
+            raise ValueError(f"unknown execution strategy {strategy!r}")
+        if strategy == STRATEGY_UNION and len(reformulation.minimal) > 1:
+            return UnionQuery(
+                f"{reformulation.query.name}_union", reformulation.minimal
+            )
+        return reformulation.best
+
+    def publish(
+        self,
+        query: XBindQuery,
+        distinct: bool = True,
+        strategy: Optional[str] = None,
+    ) -> List[Row]:
+        """Reformulate (or hit the plan cache) and execute *query*; return rows."""
+        if self._closed:
+            raise StorageError("PublishingService is closed")
+        effective = self._check_strategy(strategy, distinct)
+        plan = self.plan_for(self.reformulate(query), strategy=effective)
+        with self.pool.connection(timeout=self.checkout_timeout) as backend:
+            if isinstance(plan, UnionQuery):
+                rows = backend.execute_union(plan, distinct=True)
+            else:
+                rows = backend.execute(plan, distinct=distinct)
+        with self._counter_lock:
+            self._queries_served += 1
+        return rows
+
+    def publish_many(
+        self,
+        queries: Sequence[XBindQuery],
+        distinct: bool = True,
+        strategy: Optional[str] = None,
+    ) -> List[List[Row]]:
+        """Serve a batch of queries on this thread, reusing one connection.
+
+        The same rules as :meth:`publish` apply to the whole batch.
+        """
+        if self._closed:
+            raise StorageError("PublishingService is closed")
+        effective = self._check_strategy(strategy, distinct)
+        plans = [
+            self.plan_for(self.reformulate(query), strategy=effective)
+            for query in queries
+        ]
+        results: List[List[Row]] = []
+        with self.pool.connection(timeout=self.checkout_timeout) as backend:
+            for plan in plans:
+                if isinstance(plan, UnionQuery):
+                    results.append(backend.execute_union(plan, distinct=True))
+                else:
+                    results.append(backend.execute(plan, distinct=distinct))
+        with self._counter_lock:
+            self._queries_served += len(queries)
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        with self._counter_lock:
+            served = self._queries_served
+            computed = self._reformulations_computed
+        return ServiceStats(
+            queries_served=served,
+            reformulations_computed=computed,
+            cache=self.plan_cache.stats(),
+            pool=self.pool.stats(),
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the pool and the template backend; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.close()
+        self.executor.close()
+
+    def __enter__(self) -> "PublishingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -12,6 +12,7 @@ from .base import (
     StorageBackend,
     available_backends,
     create_backend,
+    default_backend_name,
     register_backend,
 )
 from .memory import MemoryBackend
@@ -28,5 +29,6 @@ __all__ = [
     "StorageBackend",
     "available_backends",
     "create_backend",
+    "default_backend_name",
     "register_backend",
 ]

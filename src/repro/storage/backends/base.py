@@ -23,13 +23,24 @@ can flip engines with a single string (``backend="sqlite"``).
 from __future__ import annotations
 
 import abc
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
-from ...errors import EvaluationError
+from ...errors import EvaluationError, StorageError
 from ...logical.queries import ConjunctiveQuery, UnionQuery
 
 Row = Tuple[object, ...]
 Query = Union[ConjunctiveQuery, UnionQuery]
+
+
+def default_backend_name() -> str:
+    """The registry name used when no backend is specified.
+
+    Reads the ``MARS_BACKEND`` environment variable (falling back to
+    ``"memory"``), so a test matrix or a deployment can flip every
+    default-configured executor onto another engine without code changes.
+    """
+    return os.environ.get("MARS_BACKEND", "memory") or "memory"
 
 
 class StorageBackend(abc.ABC):
@@ -91,19 +102,60 @@ class StorageBackend(abc.ABC):
     def execute(self, query: Query, distinct: bool = True) -> List[Row]:
         """Execute a conjunctive query or a union and return the head tuples."""
 
+    def execute_union(self, union: Query, distinct: bool = True) -> List[Row]:
+        """Execute a whole :class:`UnionQuery` as one batch.
+
+        Backends that can push the union through the engine in a single
+        round trip (one SQL ``UNION`` statement) override this; the default
+        runs one :meth:`execute` per disjunct and combines the answers,
+        de-duplicating across disjuncts when *distinct* is set.
+        """
+        if isinstance(union, ConjunctiveQuery):
+            return self.execute(union, distinct=distinct)
+        combined: List[Row] = []
+        seen: set = set()
+        for disjunct in union:
+            for row in self.execute(disjunct, distinct=distinct):
+                if distinct:
+                    if row in seen:
+                        continue
+                    seen.add(row)
+                combined.append(row)
+        return combined
+
     @abc.abstractmethod
     def explain(self, query: Query) -> str:
         """A human-readable account of how the backend would run *query*."""
 
     # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called on this backend."""
+        return False
+
     def close(self) -> None:
         """Release engine resources; the default implementation is a no-op."""
+
+    def clone(self) -> "StorageBackend":
+        """A new backend over the same stored data, usable from another thread.
+
+        Connection pools build their per-checkout handles with this.  The
+        clone shares (or snapshots) the data of the original but owns its
+        own engine resources, so it must be :meth:`close`\\ d independently.
+        Backends without a meaningful notion of a second handle raise
+        :class:`~repro.errors.StorageError`.
+        """
+        raise StorageError(
+            f"{type(self).__name__} does not support cloning; "
+            "it cannot be pooled"
+        )
 
     def __enter__(self) -> "StorageBackend":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        if not self.closed:
+            self.close()
 
     def __contains__(self, name: str) -> bool:
         return self.has_table(name)
@@ -137,12 +189,13 @@ def create_backend(
 ) -> StorageBackend:
     """Resolve *spec* into a live backend instance.
 
-    ``None`` means the default (``"memory"``); a string is looked up in the
-    registry; a class is instantiated; an existing instance is returned
-    unchanged (keyword arguments are then rejected).
+    ``None`` means the default (:func:`default_backend_name`, i.e. the
+    ``MARS_BACKEND`` environment variable or ``"memory"``); a string is
+    looked up in the registry; a class is instantiated; an existing instance
+    is returned unchanged (keyword arguments are then rejected).
     """
     if spec is None:
-        spec = "memory"
+        spec = default_backend_name()
     if isinstance(spec, StorageBackend):
         if kwargs:
             raise EvaluationError(

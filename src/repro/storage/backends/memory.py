@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ...errors import StorageError
 from ...logical.queries import ConjunctiveQuery, UnionQuery
 from ...logical.terms import is_variable
 from ..evaluation import evaluate_query, evaluate_union
@@ -24,6 +25,7 @@ class MemoryBackend(StorageBackend):
 
     def __init__(self, database: Optional[InMemoryDatabase] = None):
         self.database = database or InMemoryDatabase()
+        self._closed = False
 
     # -- schema and data loading ---------------------------------------
     def create_table(
@@ -59,6 +61,32 @@ class MemoryBackend(StorageBackend):
         if isinstance(query, UnionQuery):
             return evaluate_union(query, self.database, distinct=distinct)
         return evaluate_query(query, self.database, distinct=distinct)
+
+    def execute_union(self, union: Query, distinct: bool = True) -> List[Row]:
+        """One batch through :func:`evaluate_union` rather than per-disjunct."""
+        return self.execute(union, distinct=distinct)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Match the strict lifecycle of the other backends (symmetry for tests)."""
+        if self._closed:
+            raise StorageError("MemoryBackend.close() called twice")
+        self._closed = True
+
+    def clone(self) -> "MemoryBackend":
+        """A second handle on the *same* tables.
+
+        Reading Python lists is safe across threads, so pooled memory
+        backends simply share the underlying
+        :class:`~repro.storage.relational_db.InMemoryDatabase`.
+        """
+        if self._closed:
+            raise StorageError("cannot clone a closed MemoryBackend")
+        return MemoryBackend(self.database)
 
     def explain(self, query: Query) -> str:
         """Describe the left-to-right hash-join order the evaluator will use."""

@@ -15,7 +15,7 @@ import re
 import sqlite3
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ...errors import EvaluationError, SchemaError
+from ...errors import EvaluationError, SchemaError, StorageError
 from ...logical.queries import ConjunctiveQuery, UnionQuery
 from ...logical.terms import Variable, is_variable
 from ..sql import SQLQuery, quote_identifier, render_sql_query, render_union_sql_query
@@ -42,18 +42,43 @@ class _BackendSchema:
 
 
 class SQLiteBackend(StorageBackend):
-    """Executes reformulations as parameterized SQL on a SQLite database."""
+    """Executes reformulations as parameterized SQL on a SQLite database.
+
+    The backend owns exactly one :mod:`sqlite3` connection.  Its lifecycle
+    is explicit: :meth:`close` releases the connection and is not
+    idempotent — closing twice or using any method after :meth:`close`
+    raises :class:`~repro.errors.StorageError`.  The connection is created
+    with SQLite's default thread affinity (*check_same_thread*), so a single
+    backend must not be handed between threads; a
+    :class:`~repro.serve.pool.ConnectionPool` hands out :meth:`clone`\\ s
+    instead, which are created thread-portable.
+    """
 
     backend_name = "sqlite"
 
-    def __init__(self, path: str = ":memory:", auto_index: bool = True):
-        self._connection = sqlite3.connect(path)
+    def __init__(
+        self,
+        path: str = ":memory:",
+        auto_index: bool = True,
+        check_same_thread: bool = True,
+    ):
+        self.path = path
+        self.check_same_thread = check_same_thread
+        self._connection = sqlite3.connect(path, check_same_thread=check_same_thread)
         self._arities: Dict[str, int] = {}
         self._attributes: Dict[str, Tuple[str, ...]] = {}
         self._schema = _BackendSchema(self._attributes)
         self._indexed: Set[Tuple[str, str]] = set()
         self.auto_index = auto_index
+        self._closed = False
         self._adopt_existing_tables()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError(
+                "SQLiteBackend has been closed; create a new backend "
+                "(or check a connection out of a pool) instead of reusing it"
+            )
 
     def _adopt_existing_tables(self) -> None:
         """Register tables already present in an on-disk database file."""
@@ -73,6 +98,7 @@ class SQLiteBackend(StorageBackend):
     def create_table(
         self, name: str, arity: int, attributes: Optional[Sequence[str]] = None
     ) -> None:
+        self._require_open()
         if name in self._arities:
             raise SchemaError(f"table {name} already exists")
         if attributes is not None and len(attributes) != arity:
@@ -119,6 +145,7 @@ class SQLiteBackend(StorageBackend):
         self._connection.commit()
 
     def _require_table(self, name: str) -> int:
+        self._require_open()
         try:
             return self._arities[name]
         except KeyError as error:
@@ -137,6 +164,7 @@ class SQLiteBackend(StorageBackend):
         return tuple(tuple(row) for row in cursor.fetchall())
 
     def cardinalities(self) -> Dict[str, int]:
+        self._require_open()
         counts: Dict[str, int] = {}
         for name in self._arities:
             cursor = self._connection.execute(
@@ -146,6 +174,7 @@ class SQLiteBackend(StorageBackend):
         return counts
 
     def cardinality(self, name: str) -> int:
+        self._require_open()
         if name not in self._arities:
             return 0
         cursor = self._connection.execute(
@@ -161,6 +190,7 @@ class SQLiteBackend(StorageBackend):
         return render_sql_query(query, self._schema, distinct=distinct)
 
     def execute(self, query: Query, distinct: bool = True) -> List[Row]:
+        self._require_open()
         self._check_relations(query)
         if self.auto_index:
             self.ensure_indexes(query)
@@ -173,8 +203,19 @@ class SQLiteBackend(StorageBackend):
             ) from error
         return [tuple(row) for row in cursor.fetchall()]
 
+    def execute_union(self, union: Query, distinct: bool = True) -> List[Row]:
+        """Run a whole union reformulation as one SQL statement (one round trip).
+
+        :func:`~repro.storage.sql.render_union_sql_query` joins the disjuncts
+        with ``UNION`` (set semantics) or ``UNION ALL`` (*distinct=False*, bag
+        semantics), so the engine sees the entire reformulation at once
+        instead of one ``execute`` per disjunct.
+        """
+        return self.execute(union, distinct=distinct)
+
     def explain(self, query: Query) -> str:
         """SQLite's EXPLAIN QUERY PLAN for the compiled statement."""
+        self._require_open()
         self._check_relations(query)
         if self.auto_index:
             self.ensure_indexes(query)
@@ -205,6 +246,7 @@ class SQLiteBackend(StorageBackend):
         Index creation is idempotent; the names created by this call are
         returned (useful for tests and the benchmarks).
         """
+        self._require_open()
         created: List[str] = []
         disjuncts = query if isinstance(query, UnionQuery) else (query,)
         for disjunct in disjuncts:
@@ -249,5 +291,41 @@ class SQLiteBackend(StorageBackend):
         return f"ix_{slug}"
 
     # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        """Release the connection.  Closing twice raises :class:`StorageError`."""
+        if self._closed:
+            raise StorageError("SQLiteBackend.close() called twice")
         self._connection.close()
+        self._closed = True
+
+    def clone(self) -> "SQLiteBackend":
+        """A new backend over the same data, safe to hand to another thread.
+
+        For an on-disk database the clone is simply a second connection to
+        the same file.  For per-connection databases — ``:memory:`` and
+        SQLite's unnamed temporary database (``path=""``) — a second
+        connection would see a different, empty database, so the current
+        contents are snapshotted into the clone with SQLite's online backup
+        API and pooled read connections serve the data the template held at
+        checkout-creation time.  Clones are created with
+        ``check_same_thread=False`` — a pool checks a clone out to one
+        thread at a time, which sqlite3 supports on any build.
+        """
+        self._require_open()
+        clone = SQLiteBackend.__new__(SQLiteBackend)
+        clone.path = self.path
+        clone.check_same_thread = False
+        clone._connection = sqlite3.connect(self.path, check_same_thread=False)
+        clone._arities = dict(self._arities)
+        clone._attributes = dict(self._attributes)
+        clone._schema = _BackendSchema(clone._attributes)
+        clone._indexed = set(self._indexed)
+        clone.auto_index = self.auto_index
+        clone._closed = False
+        if self.path in (":memory:", ""):
+            self._connection.backup(clone._connection)
+        return clone

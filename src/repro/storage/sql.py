@@ -192,9 +192,19 @@ def render_union_sql_query(
     schema: Optional[RelationalSchema] = None,
     distinct: bool = True,
 ) -> SQLQuery:
-    """Render a union as one executable statement (UNION / UNION ALL)."""
+    """Render a union as one executable statement (UNION / UNION ALL).
+
+    Parameters are concatenated in disjunct order, so the statement executes
+    the whole reformulation in a single round trip.  With *distinct* the
+    disjuncts are joined by ``UNION``, whose set semantics already
+    de-duplicate across (and within) branches, so the per-disjunct
+    ``DISTINCT`` is skipped as redundant; without it the branches keep bag
+    semantics and are joined by ``UNION ALL``.
+    """
+    if len(union) == 1:
+        return render_sql_query(union.disjuncts[0], schema, distinct=distinct)
     rendered = [
-        render_sql_query(disjunct, schema, distinct=distinct) for disjunct in union
+        render_sql_query(disjunct, schema, distinct=False) for disjunct in union
     ]
     connector = "\nUNION\n" if distinct else "\nUNION ALL\n"
     sql = connector.join(part.sql for part in rendered)

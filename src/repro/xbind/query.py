@@ -81,6 +81,53 @@ class XBindQuery:
         return tuple(seen)
 
     # ------------------------------------------------------------------
+    def fingerprint(self) -> Tuple:
+        """A hashable structural key for this query, modulo variable names.
+
+        Variables are numbered by first occurrence (head first, then body in
+        order), so two queries that differ only in variable naming — or in
+        the query name — share a fingerprint.  The plan cache of the
+        publishing service keys reformulations on this, letting repeated
+        client queries skip the C&B engine entirely.
+        """
+        numbering: Dict[Variable, int] = {}
+
+        def term_key(item: Optional[Term]) -> Optional[Tuple]:
+            if item is None:
+                return None
+            if is_variable(item):
+                index = numbering.get(item)
+                if index is None:
+                    index = numbering[item] = len(numbering)
+                return ("v", index)
+            return ("c", type(item.value).__name__, item.value)
+
+        head = tuple(term_key(item) for item in self.head)
+        body = []
+        for atom in self.body:
+            if isinstance(atom, PathAtom):
+                body.append(
+                    (
+                        "path",
+                        str(atom.path),
+                        atom.document,
+                        term_key(atom.source),
+                        term_key(atom.target),
+                    )
+                )
+            elif isinstance(atom, RelationalAtom):
+                body.append(
+                    ("rel", atom.relation, tuple(term_key(t) for t in atom.terms))
+                )
+            elif isinstance(atom, EqualityAtom):
+                body.append(("eq", term_key(atom.left), term_key(atom.right)))
+            elif isinstance(atom, InequalityAtom):
+                body.append(("neq", term_key(atom.left), term_key(atom.right)))
+            else:  # future atom kinds: fall back to their repr
+                body.append(("atom", repr(atom)))
+        return (head, tuple(body))
+
+    # ------------------------------------------------------------------
     def substitute(self, mapping: Mapping[Term, Term]) -> "XBindQuery":
         head = tuple(mapping.get(item, item) for item in self.head)
         body = tuple(atom.substitute(mapping) for atom in self.body)

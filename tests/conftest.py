@@ -1,0 +1,128 @@
+"""Shared fixtures: backend-matrix plumbing and the random-query generator.
+
+Two pieces live here because several test modules need them:
+
+* ``mars_backend`` — the storage-backend name the suite's *default*
+  configurations run on.  ``MarsConfiguration`` reads the ``MARS_BACKEND``
+  environment variable, so CI runs the whole tier-1 suite once per engine
+  (``memory`` and ``sqlite``) by flipping one env value; the fixture simply
+  exposes the active name to tests that want to log or assert it.
+
+* :class:`RandomQueryGenerator` — seeded random conjunctive queries (and
+  unions) over the tables a built backend actually holds, used by the
+  randomized differential tests as a cross-backend oracle.  No hypothesis
+  dependency: a seeded :class:`random.Random` makes every failure
+  reproducible from the test id alone.
+"""
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.logical.atoms import InequalityAtom, RelationalAtom
+from repro.logical.queries import ConjunctiveQuery, UnionQuery
+from repro.logical.terms import Constant, Variable
+from repro.storage.backends import StorageBackend, default_backend_name
+
+
+@pytest.fixture
+def mars_backend() -> str:
+    """The backend name default-constructed configurations will use."""
+    return default_backend_name()
+
+
+class RandomQueryGenerator:
+    """Generate random conjunctive queries over a backend's actual tables.
+
+    Queries are built so both engines must agree on them: every head
+    variable is bound by a relational atom, constants are drawn from values
+    actually stored in the column they constrain (so selections are
+    non-trivially satisfiable), and join variables prefer columns with
+    overlapping value sets (so joins are non-trivially non-empty).
+    """
+
+    def __init__(self, backend: StorageBackend, seed: int, max_atoms: int = 3):
+        self.rng = random.Random(seed)
+        self.max_atoms = max_atoms
+        self.tables: Dict[str, List[Tuple[object, ...]]] = {}
+        for name in backend.table_names:
+            rows = [tuple(row) for row in backend.rows(name)]
+            if rows:
+                self.tables[name] = rows
+        if not self.tables:
+            raise ValueError("backend holds no populated tables to query")
+        self._names = sorted(self.tables)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def _fresh_variable(self) -> Variable:
+        self._counter += 1
+        return Variable(f"rv{self._counter}")
+
+    def _column_values(self, table: str, position: int) -> List[object]:
+        return [row[position] for row in self.tables[table]]
+
+    def conjunctive(self, name: str, head_arity: Optional[int] = None) -> ConjunctiveQuery:
+        rng = self.rng
+        atom_count = rng.randint(1, self.max_atoms)
+        atoms: List[RelationalAtom] = []
+        # variable -> sample of values it may take, used to bias joins
+        # toward columns whose value sets overlap.
+        var_values: Dict[Variable, set] = {}
+        for _ in range(atom_count):
+            table = rng.choice(self._names)
+            arity = len(self.tables[table][0])
+            terms = []
+            for position in range(arity):
+                column = set(self._column_values(table, position))
+                roll = rng.random()
+                joinable = [
+                    v for v, values in var_values.items() if values & column
+                ]
+                if joinable and roll < 0.35:
+                    variable = rng.choice(joinable)
+                    var_values[variable] = var_values[variable] & column
+                    terms.append(variable)
+                elif roll < 0.5:
+                    terms.append(Constant(rng.choice(sorted(column, key=repr))))
+                else:
+                    variable = self._fresh_variable()
+                    var_values[variable] = column
+                    terms.append(variable)
+            atoms.append(RelationalAtom(table, tuple(terms)))
+        variables = sorted(var_values, key=lambda v: v.name)
+        if head_arity is None:
+            head_arity = rng.randint(1, min(3, len(variables))) if variables else 1
+        if not variables:
+            # all-constant atoms: give the query a constant head
+            head = tuple(Constant("hit") for _ in range(head_arity))
+            return ConjunctiveQuery(name, head, tuple(atoms))
+        head = tuple(rng.choice(variables) for _ in range(head_arity))
+        body: List = list(atoms)
+        if len(variables) >= 2 and rng.random() < 0.3:
+            left, right = rng.sample(variables, 2)
+            body.append(InequalityAtom(left, right))
+        return ConjunctiveQuery(name, head, tuple(body))
+
+    def union(self, name: str, disjuncts: Optional[int] = None) -> UnionQuery:
+        """A union of 2-3 random conjunctive queries with one head arity."""
+        count = disjuncts or self.rng.randint(2, 3)
+        arity = self.rng.randint(1, 2)
+        return UnionQuery(
+            name,
+            tuple(
+                self.conjunctive(f"{name}_d{index}", head_arity=arity)
+                for index in range(count)
+            ),
+        )
+
+
+@pytest.fixture
+def query_generator():
+    """Factory fixture: ``query_generator(backend, seed)`` -> generator."""
+
+    def build(backend: StorageBackend, seed: int, **kwargs) -> RandomQueryGenerator:
+        return RandomQueryGenerator(backend, seed, **kwargs)
+
+    return build

@@ -164,8 +164,14 @@ class TestBackendFactory:
     def test_registry_names(self):
         assert set(BACKEND_NAMES) <= set(available_backends())
 
-    def test_default_is_memory(self):
+    def test_default_is_memory(self, monkeypatch):
+        monkeypatch.delenv("MARS_BACKEND", raising=False)
         assert isinstance(create_backend(None), MemoryBackend)
+
+    def test_default_honours_environment(self, monkeypatch):
+        monkeypatch.setenv("MARS_BACKEND", "sqlite")
+        assert isinstance(create_backend(None), SQLiteBackend)
+        assert MarsConfiguration("env").backend == "sqlite"
 
     def test_instance_passthrough(self):
         instance = MemoryBackend()
@@ -178,7 +184,8 @@ class TestBackendFactory:
         with pytest.raises(EvaluationError):
             create_backend("oracle9i")
 
-    def test_configuration_hook(self):
+    def test_configuration_hook(self, monkeypatch):
+        monkeypatch.delenv("MARS_BACKEND", raising=False)
         configuration = MarsConfiguration("conf")
         assert isinstance(configuration.create_backend(), MemoryBackend)
         configuration.backend = "sqlite"

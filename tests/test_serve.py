@@ -1,0 +1,513 @@
+"""The serving subsystem: pool, plan cache, service, and backend lifecycle.
+
+The headline test is the concurrency stress: ≥8 threads share one
+pooled-SQLite :class:`PublishingService`, every thread must see exactly the
+rows serial execution produces (no cross-talk, no wrong-thread
+``sqlite3.ProgrammingError``), and the C&B engine must run once per
+distinct query — everything else is served from the plan cache.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import MarsConfiguration, MarsExecutor, MarsSystem
+from repro.errors import ReformulationError, StorageError
+from repro.logical.atoms import RelationalAtom
+from repro.logical.queries import ConjunctiveQuery
+from repro.logical.terms import Constant, Variable
+from repro.serve import ConnectionPool, PlanCache, PublishingService
+from repro.storage.backends import MemoryBackend, SQLiteBackend
+from repro.workloads import medical
+from repro.xbind.query import XBindQuery
+from repro.xbind.atoms import PathAtom
+
+
+def multiset(rows):
+    return sorted(map(repr, rows))
+
+
+# ----------------------------------------------------------------------
+# SQLiteBackend lifecycle (the thread-affinity / leaked-connection fix)
+# ----------------------------------------------------------------------
+class TestSQLiteLifecycle:
+    def test_double_close_raises(self):
+        backend = SQLiteBackend()
+        backend.close()
+        assert backend.closed
+        with pytest.raises(StorageError):
+            backend.close()
+
+    def test_use_after_close_raises(self):
+        backend = SQLiteBackend()
+        backend.create_table("r", 1)
+        backend.close()
+        x = Variable("x")
+        query = ConjunctiveQuery("q", (x,), (RelationalAtom("r", (x,)),))
+        for call in (
+            lambda: backend.execute(query),
+            lambda: backend.rows("r"),
+            lambda: backend.insert_many("r", [(1,)]),
+            lambda: backend.create_table("s", 1),
+            lambda: backend.cardinalities(),
+            lambda: backend.cardinality("r"),
+            lambda: backend.explain(query),
+            lambda: backend.clone(),
+        ):
+            with pytest.raises(StorageError):
+                call()
+
+    def test_context_manager_tolerates_inner_close(self):
+        with SQLiteBackend() as backend:
+            backend.close()
+        assert backend.closed
+
+    def test_memory_backend_matches_lifecycle(self):
+        backend = MemoryBackend()
+        backend.close()
+        with pytest.raises(StorageError):
+            backend.close()
+        with pytest.raises(StorageError):
+            backend.clone()
+
+    def test_same_thread_affinity_is_kept_by_default(self):
+        """The raw backend still refuses cross-thread use (sane default)."""
+        backend = SQLiteBackend()
+        backend.create_table("r", 1)
+        backend.insert_many("r", [(1,)])
+        errors = []
+
+        def use():
+            try:
+                backend.rows("r")
+            except Exception as error:  # sqlite3.ProgrammingError
+                errors.append(error)
+
+        thread = threading.Thread(target=use)
+        thread.start()
+        thread.join()
+        assert errors, "expected wrong-thread use to be rejected"
+        backend.close()
+
+
+class TestSQLiteClone:
+    def test_clone_snapshots_memory_database(self):
+        backend = SQLiteBackend()
+        backend.create_table("r", 2, ("a", "b"))
+        backend.insert_many("r", [(1, "x"), (2, "y")])
+        clone = backend.clone()
+        assert tuple(clone.rows("r")) == ((1, "x"), (2, "y"))
+        # the clone is independent: writes to the template do not leak in
+        backend.insert_many("r", [(3, "z")])
+        assert clone.cardinality("r") == 2
+        clone.close()
+        backend.close()
+
+    def test_clone_is_thread_portable(self):
+        backend = SQLiteBackend()
+        backend.create_table("r", 1)
+        backend.insert_many("r", [(7,)])
+        clone = backend.clone()
+        seen = []
+
+        def use():
+            seen.append(tuple(clone.rows("r")))
+
+        thread = threading.Thread(target=use)
+        thread.start()
+        thread.join()
+        assert seen == [((7,),)]
+        clone.close()
+        backend.close()
+
+    def test_clone_snapshots_unnamed_temp_database(self):
+        """path='' is a per-connection temp db and needs the backup path too."""
+        backend = SQLiteBackend(path="")
+        backend.create_table("r", 1)
+        backend.insert_many("r", [(5,)])
+        clone = backend.clone()
+        assert tuple(clone.rows("r")) == ((5,),)
+        clone.close()
+        backend.close()
+
+    def test_clone_of_file_database_shares_data(self, tmp_path):
+        path = str(tmp_path / "clone.db")
+        backend = SQLiteBackend(path=path)
+        backend.create_table("r", 1)
+        backend.insert_many("r", [(1,)])
+        clone = backend.clone()
+        assert tuple(clone.rows("r")) == ((1,),)
+        clone.close()
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# ConnectionPool
+# ----------------------------------------------------------------------
+class TestConnectionPool:
+    def build_template(self):
+        backend = SQLiteBackend()
+        backend.create_table("r", 1)
+        backend.insert_many("r", [(1,), (2,)])
+        return backend
+
+    def test_checkout_checkin_cycle(self):
+        template = self.build_template()
+        pool = ConnectionPool(template, size=2)
+        first = pool.acquire()
+        second = pool.acquire()
+        assert first is not second
+        pool.release(first)
+        third = pool.acquire()
+        assert third is first  # LIFO reuse of the warm connection
+        pool.release(second)
+        pool.release(third)
+        stats = pool.stats()
+        assert stats.created == 2 and stats.checkouts == 3
+        assert stats.peak_in_use == 2 and stats.in_use == 0
+        pool.close()
+        template.close()
+
+    def test_exhausted_pool_times_out(self):
+        template = self.build_template()
+        pool = ConnectionPool(template, size=1)
+        held = pool.acquire()
+        with pytest.raises(StorageError):
+            pool.acquire(timeout=0.05)
+        pool.release(held)
+        pool.close()
+        template.close()
+
+    def test_closed_pool_rejects_acquire_and_closes_clones(self):
+        template = self.build_template()
+        pool = ConnectionPool(template, size=2)
+        checked_out = pool.acquire()
+        pool.close()
+        with pytest.raises(StorageError):
+            pool.acquire()
+        # the in-flight connection is closed when it comes back
+        pool.release(checked_out)
+        assert checked_out.closed
+        pool.close()  # idempotent
+        assert not template.closed
+        template.close()
+
+    def test_invalid_size_rejected(self):
+        template = self.build_template()
+        with pytest.raises(StorageError):
+            ConnectionPool(template, size=0)
+        template.close()
+
+    def test_context_manager(self):
+        template = self.build_template()
+        with ConnectionPool(template, size=1) as pool:
+            with pool.connection() as backend:
+                x = Variable("x")
+                rows = backend.execute(
+                    ConjunctiveQuery("q", (x,), (RelationalAtom("r", (x,)),))
+                )
+                assert multiset(rows) == multiset([(1,), (2,)])
+        assert pool.closed
+        template.close()
+
+
+# ----------------------------------------------------------------------
+# PlanCache
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_lru_eviction_order(self):
+        cache = PlanCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        stats = cache.stats()
+        assert stats.evictions == 1 and stats.current_size == 2
+
+    def test_counters_and_hit_rate(self):
+        cache = PlanCache(maxsize=4)
+        assert cache.get("missing") is None
+        cache.put("k", "plan")
+        assert cache.get("k") == "plan"
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_none_is_rejected(self):
+        cache = PlanCache()
+        with pytest.raises(ValueError):
+            cache.put("k", None)
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+    def test_fingerprint_is_rename_invariant(self):
+        def query(prefix):
+            case_el = Variable(f"{prefix}_el")
+            diag = Variable(f"{prefix}_diag")
+            return XBindQuery(
+                f"{prefix}_q",
+                (diag,),
+                (
+                    PathAtom("//case", case_el, document="case.xml"),
+                    PathAtom("./diag/text()", diag, source=case_el),
+                ),
+            )
+
+        assert query("a").fingerprint() == query("b").fingerprint()
+        other = XBindQuery(
+            "c",
+            (Variable("x"),),
+            (PathAtom("//case/diag/text()", Variable("x"), document="case.xml"),),
+        )
+        assert other.fingerprint() != query("a").fingerprint()
+
+    def test_fingerprint_distinguishes_constants_from_variables(self):
+        x = Variable("x")
+        with_constant = XBindQuery(
+            "q", (x,), (RelationalAtom("r", (x, Constant("x"))),)
+        )
+        with_variable = XBindQuery(
+            "q", (x,), (RelationalAtom("r", (x, Variable("y"))),)
+        )
+        assert with_constant.fingerprint() != with_variable.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# PublishingService
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def medical_service():
+    configuration = medical.build_configuration()
+    configuration.backend = "sqlite"
+    service = PublishingService(configuration, pool_size=4)
+    yield service
+    service.close()
+
+
+class TestPublishingService:
+    def test_publish_matches_direct_execution(self, medical_service):
+        query = medical.client_query()
+        rows = medical_service.publish(query)
+        expected = medical_service.executor.execute_original(query)
+        assert multiset(rows) == multiset(expected)
+
+    def test_repeated_query_hits_plan_cache(self):
+        configuration = medical.build_configuration()
+        configuration.backend = "sqlite"
+        with PublishingService(configuration, pool_size=2) as service:
+            query = medical.client_query()
+            first = service.publish(query)
+            # Make re-entering the C&B engine an error: a cached plan must
+            # never reach reformulate() on the underlying engine again.
+            def boom(*args, **kwargs):
+                raise AssertionError("C&B engine re-entered on a cached query")
+
+            service.system._engine.reformulate = boom
+            renamed = query.substitute(
+                {v: Variable(f"fresh_{v.name}") for v in query.variables()}
+            )
+            second = service.publish(renamed)
+            assert multiset(first) == multiset(second)
+            stats = service.stats()
+            assert stats.cache.hits >= 1
+            assert stats.reformulations_computed == 1
+
+    def test_union_strategy_single_round_trip(self, medical_service):
+        query = medical.client_query()
+        best_rows = medical_service.publish(query, strategy="best")
+        union_rows = medical_service.publish(query, strategy="union")
+        assert multiset(best_rows) == multiset(union_rows)
+        with pytest.raises(ValueError):
+            medical_service.publish(query, strategy="union", distinct=False)
+
+    def test_union_strategy_on_multi_reformulation_workload(self):
+        """Star with cost-pruning off yields several minimal reformulations;
+        the union strategy must push them through as one batch and still
+        return exactly the best plan's rows."""
+        from repro.engine.backchase import BackchaseConfig
+        from repro.engine.cb import CBConfig
+        from repro.logical.queries import UnionQuery
+        from repro.workloads import star
+        from repro.workloads.star import StarParameters
+
+        parameters = StarParameters(corners=3, hub_count=10, corner_size=6)
+        configuration = star.build_configuration(parameters, with_instance=True)
+        configuration.backend = "sqlite"
+        cb_config = CBConfig(backchase=BackchaseConfig(prune_by_cost=False))
+        system = MarsSystem(configuration, cb_config=cb_config)
+        with system.service(pool_size=2, strategy="union") as service:
+            query = star.client_query(parameters)
+            reformulation = service.reformulate(query)
+            assert len(reformulation.minimal) > 1
+            plan = service.plan_for(reformulation)
+            assert isinstance(plan, UnionQuery)
+            assert len(plan) == len(reformulation.minimal)
+            union_rows = service.publish(query)
+            best_rows = service.publish(query, strategy="best")
+            assert multiset(union_rows) == multiset(best_rows)
+
+    def test_unreformulable_query_raises(self, medical_service):
+        ghost = Variable("g")
+        query = XBindQuery(
+            "Ghost", (ghost,), (PathAtom("//nosuch", ghost, document="case.xml"),)
+        )
+        with pytest.raises(ReformulationError):
+            medical_service.publish(query)
+
+    def test_publish_many_reuses_one_connection(self, medical_service):
+        before = medical_service.pool.stats().checkouts
+        results = medical_service.publish_many(
+            [medical.client_query(), medical.drug_usage_query()]
+        )
+        assert len(results) == 2 and all(results)
+        assert medical_service.pool.stats().checkouts == before + 1
+
+    def test_publish_many_enforces_publish_guards(self, medical_service):
+        queries = [medical.client_query()]
+        with pytest.raises(ValueError):
+            medical_service.publish_many(queries, strategy="unionall")
+        with pytest.raises(ValueError):
+            medical_service.publish_many(
+                queries, distinct=False, strategy="union"
+            )
+        configuration = medical.build_configuration()
+        service = PublishingService(configuration, pool_size=1)
+        service.close()
+        with pytest.raises(StorageError):
+            service.publish_many(queries)
+
+    def test_system_service_factory(self):
+        configuration = medical.build_configuration()
+        configuration.backend = "sqlite"
+        system = MarsSystem(configuration)
+        with system.service(pool_size=2) as service:
+            assert service.system is system
+            assert system.plan_cache is service.plan_cache
+            assert service.publish(medical.client_query())
+
+    def test_closed_service_rejects_publish(self):
+        configuration = medical.build_configuration()
+        service = PublishingService(configuration, pool_size=1)
+        service.close()
+        with pytest.raises(StorageError):
+            service.publish(medical.client_query())
+
+    def test_invalid_strategy_rejected(self):
+        configuration = medical.build_configuration()
+        with pytest.raises(ValueError):
+            PublishingService(configuration, strategy="fastest")
+        with PublishingService(configuration, pool_size=1) as service:
+            with pytest.raises(ValueError):
+                service.publish(medical.client_query(), strategy="unionall")
+
+    def test_failed_pool_construction_closes_template(self):
+        configuration = medical.build_configuration()
+        configuration.backend = "sqlite"
+        shared = configuration.create_backend()
+        with pytest.raises(StorageError):
+            PublishingService(configuration, backend=shared, pool_size=0)
+        # the injected backend stays the caller's, but the pool failure must
+        # not leave an owned template connection dangling either
+        assert not shared.closed
+        shared.close()
+        broken = MarsConfiguration("broken")
+        broken.pool_size = 0
+        with pytest.raises(StorageError):
+            PublishingService(broken)
+
+    def test_cold_query_counts_one_reformulation_across_threads(self):
+        """Threads racing on an uncached query must not over-count C&B runs."""
+        configuration = medical.build_configuration()
+        with PublishingService(configuration, pool_size=4) as service:
+            query = medical.client_query()
+            barrier = threading.Barrier(THREADS)
+            errors = []
+
+            def worker():
+                try:
+                    barrier.wait(timeout=10)
+                    service.publish(query)
+                except Exception as error:
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            stats = service.stats()
+            assert stats.reformulations_computed == 1
+            assert stats.cache.misses == 1
+
+
+# ----------------------------------------------------------------------
+# The acceptance-criteria stress test
+# ----------------------------------------------------------------------
+THREADS = 8
+ROUNDS = 6
+
+
+class TestConcurrencyStress:
+    def test_threads_share_pooled_sqlite_service(self):
+        configuration = medical.build_configuration()
+        configuration.backend = "sqlite"
+        queries = [medical.client_query(), medical.drug_usage_query()]
+        with PublishingService(configuration, pool_size=4) as service:
+            # serial ground truth, computed before any concurrency
+            serial = {q.name: multiset(service.publish(q)) for q in queries}
+            errors = []
+            mismatches = []
+            started = threading.Barrier(THREADS)
+
+            def worker():
+                try:
+                    started.wait(timeout=10)
+                    for _ in range(ROUNDS):
+                        for query in queries:
+                            rows = multiset(service.publish(query))
+                            if rows != serial[query.name]:
+                                mismatches.append(query.name)
+                except Exception as error:
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors, f"workers raised: {errors!r}"
+            assert not mismatches, f"cross-talk on: {set(mismatches)}"
+
+            stats = service.stats()
+            total = len(queries) * (1 + THREADS * ROUNDS)
+            assert stats.queries_served == total
+            # one C&B run per distinct query; the rest from the plan cache
+            assert stats.reformulations_computed == len(queries)
+            assert stats.cache.misses == len(queries)
+            assert stats.cache.hits == total - len(queries)
+            assert stats.pool.created == 4
+            assert stats.pool.checkouts == total
+
+    def test_stress_on_memory_backend_for_symmetry(self):
+        configuration = medical.build_configuration()
+        configuration.backend = "memory"
+        query = medical.client_query()
+        with PublishingService(configuration, pool_size=4) as service:
+            serial = multiset(service.publish(query))
+            errors = []
+
+            def worker():
+                try:
+                    for _ in range(ROUNDS):
+                        assert multiset(service.publish(query)) == serial
+                except Exception as error:
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors

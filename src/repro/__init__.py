@@ -32,7 +32,8 @@ from .errors import (
     SpecializationError,
     StorageError,
 )
-from .serve import ConnectionPool, PlanCache, PublishingService
+from .serve import ConnectionPool, PlanCache, PoolExhaustedError, PublishingService
+from .shard import ShardedBackend
 
 __version__ = "1.0.0"
 
@@ -48,9 +49,11 @@ __all__ = [
     "MarsSystem",
     "ParseError",
     "PlanCache",
+    "PoolExhaustedError",
     "PublishingService",
     "ReformulationError",
     "SchemaError",
+    "ShardedBackend",
     "SpecializationError",
     "StorageError",
     "__version__",

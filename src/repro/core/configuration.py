@@ -55,29 +55,53 @@ class MarsConfiguration:
         self.xml_access_weight = DEFAULT_XML_ACCESS_WEIGHT
         self.include_disjunctive_tix = False
         # Name of the storage backend executing reformulations ("memory",
-        # "sqlite", ...); examples and benchmarks flip engines with this
-        # flag.  The default honours the MARS_BACKEND environment variable,
-        # so the test suite can run its entire matrix on either engine.
+        # "sqlite", "sharded", ...); examples and benchmarks flip engines
+        # with this flag.  The default honours the MARS_BACKEND environment
+        # variable, so the test suite can run its entire matrix per engine.
         self.backend: str = default_backend_name()
+        # Sharded-backend defaults (used when backend == "sharded"):
+        # shard_count None defers to the MARS_SHARDS environment variable;
+        # partition_keys maps table name -> partition-key column (tables not
+        # listed are broadcast to every shard); shard_children optionally
+        # names the child engine(s), one spec or one per shard.
+        self.shard_count: Optional[int] = None
+        self.partition_keys: Dict[str, object] = {}
+        self.shard_children: Optional[object] = None
         # Serving defaults used by repro.serve.PublishingService: how many
         # pooled connections to hand out and how many cached plans to keep.
         self.pool_size: int = 4
         self.plan_cache_size: int = 128
+        # Monotonic declaration version.  Every mutation of the schema
+        # correspondence (views, constraints, relations) bumps it; the plan
+        # cache keys on it, and MarsSystem recompiles its derived artifacts
+        # and flushes stale cached plans when it observes a newer version.
+        self.version: int = 0
 
     # ------------------------------------------------------------------
     # Declarations
     # ------------------------------------------------------------------
+    def _bump_version(self) -> None:
+        """Record that the declared schema correspondence changed.
+
+        Cached reformulation plans embed the version they were computed
+        under, so bumping it makes every previously cached plan stale (see
+        ``MarsSystem.reformulate``).
+        """
+        self.version += 1
+
     def add_public_document(
         self, name: str, instance: Optional[XMLDocument] = None
     ) -> None:
         """Declare a published (virtual) document, optionally with an instance."""
         self.public_documents[name] = instance
+        self._bump_version()
 
     def add_proprietary_document(
         self, name: str, instance: Optional[XMLDocument] = None
     ) -> None:
         """Declare a stored native-XML document."""
         self.proprietary_documents[name] = instance
+        self._bump_version()
 
     def publish_document_as_is(
         self, name: str, instance: Optional[XMLDocument] = None
@@ -96,9 +120,22 @@ class MarsConfiguration:
         self.relational_schema.add_relation(name, attributes)
         if rows is not None:
             self.relational_data[name] = [tuple(row) for row in rows]
+        self._bump_version()
+
+    def set_partition_key(self, relation: str, column: object) -> None:
+        """Declare the column the ``sharded`` backend splits *relation* on.
+
+        *column* is an attribute name or a 0-based position.  Relations
+        without a partition key are broadcast to every shard, so only the
+        large, shardable tables need a declaration.  (Partitioning is a
+        physical-layout hint: it does not change the schema correspondence,
+        so it does not invalidate cached plans.)
+        """
+        self.partition_keys[relation] = column
 
     def add_key(self, relation: str, attributes: Sequence[str]) -> None:
         self.relational_schema.add_key(relation, attributes)
+        self._bump_version()
 
     def add_foreign_key(
         self,
@@ -110,6 +147,7 @@ class MarsConfiguration:
         self.relational_schema.add_foreign_key(
             source, source_attributes, target, target_attributes
         )
+        self._bump_version()
 
     def add_relational_view(
         self, view: RelationalView, attributes: Optional[Sequence[str]] = None
@@ -119,6 +157,7 @@ class MarsConfiguration:
         if view.name not in self.relational_schema:
             names = attributes or [f"c{i}" for i in range(view.arity)]
             self.relational_schema.add_relation(view.name, names)
+        self._bump_version()
 
     def add_xml_view(self, view: XMLView, published: bool = True) -> None:
         """Declare an XML-producing view.
@@ -130,15 +169,19 @@ class MarsConfiguration:
         self.xml_views.append(view)
         if published:
             self.public_documents.setdefault(view.output_document, None)
+        self._bump_version()
 
     def add_identity_view(self, view: IdentityView) -> None:
         self.identity_views.append(view)
+        self._bump_version()
 
     def add_xic(self, xic: XIC) -> None:
         self.xics.append(xic)
+        self._bump_version()
 
     def add_dependency(self, dependency: DED) -> None:
         self.extra_dependencies.append(dependency)
+        self._bump_version()
 
     # ------------------------------------------------------------------
     # Storage backend factory
@@ -148,11 +191,22 @@ class MarsConfiguration:
 
         *spec* overrides the configuration's :attr:`backend` name; it may be
         a registry name, a backend class, or a ready instance (see
-        :func:`repro.storage.backends.create_backend`).
+        :func:`repro.storage.backends.create_backend`).  When the resolved
+        spec is the ``sharded`` backend, the configuration's sharding
+        declarations (:attr:`shard_count`, :attr:`partition_keys`,
+        :attr:`shard_children`) are threaded through as defaults, so a
+        deployment flips to horizontal partitioning by setting
+        ``backend = "sharded"`` and declaring partition keys.
         """
         from ..storage.backends import create_backend
 
-        return create_backend(spec if spec is not None else self.backend, **kwargs)
+        spec = spec if spec is not None else self.backend
+        if spec == "sharded":
+            kwargs.setdefault("shards", self.shard_count)
+            kwargs.setdefault("partition_keys", dict(self.partition_keys))
+            if self.shard_children is not None:
+                kwargs.setdefault("children", self.shard_children)
+        return create_backend(spec, **kwargs)
 
     # ------------------------------------------------------------------
     # Derived artifacts

@@ -25,7 +25,7 @@ from typing import List, Tuple, Type, Union
 
 from ..compile.view_compiler import RelationalView
 from ..logical.queries import ConjunctiveQuery, UnionQuery
-from ..storage.backends import StorageBackend, create_backend
+from ..storage.backends import StorageBackend
 from ..xbind.evaluation import MixedStorage, evaluate_xbind
 from ..xbind.query import XBindQuery
 from .configuration import MarsConfiguration
@@ -73,10 +73,10 @@ class MarsExecutor:
         self, configuration: MarsConfiguration, backend: BackendSpec = None
     ):
         self.configuration = configuration
-        if backend is None:
-            self.backend = configuration.create_backend()
-        else:
-            self.backend = create_backend(backend)
+        # Resolution goes through the configuration so that a string spec
+        # picks up deployment defaults (e.g. "sharded" gets the declared
+        # shard count and partition keys); instances pass through untouched.
+        self.backend = configuration.create_backend(backend)
         # Only close backends this executor created; an injected instance
         # may be shared with other executors and stays the caller's to close.
         self._owns_backend = self.backend is not backend

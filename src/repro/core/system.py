@@ -38,17 +38,28 @@ class MarsSystem:
         self.cb_config = cb_config or CBConfig()
         # An optional LRU cache of finished reformulations (any object with
         # thread-safe get/put, normally a repro.serve.cache.PlanCache),
-        # keyed on the client query's structural fingerprint.  With a cache
-        # attached, a repeated query skips compilation, chase and backchase
-        # entirely.  None (the default) preserves uncached behaviour.
+        # keyed on the client query's structural fingerprint plus the
+        # configuration version.  With a cache attached, a repeated query
+        # skips compilation, chase and backchase entirely.  None (the
+        # default) preserves uncached behaviour.
         self.plan_cache = plan_cache
         # The default estimator must be cheap: the backchase estimates the cost
         # of every candidate subquery.  The join-order-aware DP estimator can
-        # be plugged in explicitly for final plan ranking.
+        # be plugged in explicitly for final plan ranking.  An injected
+        # estimator survives recompilation; the default one is rebuilt from
+        # fresh statistics when the configuration changes.
+        self._estimator_injected = estimator is not None
         self.estimator = estimator or SimpleCostEstimator(
             configuration.build_statistics()
         )
-        # Compiled artifacts are derived once and reused across queries.
+        # Compiled artifacts are derived once per configuration version and
+        # reused across queries; _recompile() refreshes them (and flushes
+        # stale cached plans) when the configuration is edited afterwards.
+        self._compile_artifacts()
+
+    def _compile_artifacts(self) -> None:
+        """Derive (or re-derive) every compiled artifact of the configuration."""
+        configuration = self.configuration
         self._compiler = configuration.compiler()
         self._dependencies: List[DED] = configuration.dependencies()
         self._target_relations = configuration.target_relations()
@@ -59,6 +70,24 @@ class MarsSystem:
         # Engines for per-call `minimize` overrides, built lazily and cached:
         # rebuilding a CBEngine per reformulate() call is wasteful.
         self._override_engines: Dict[bool, CBEngine] = {}
+        self._compiled_version = configuration.version
+
+    def _recompile(self) -> None:
+        """React to a configuration edit: refresh artifacts, flush stale plans.
+
+        Views and constraints shape every reformulation, so cached plans
+        computed under an older configuration version must not survive the
+        edit.  Keys embed the version (a stale entry can never be *hit*);
+        this additionally evicts the dead entries so they stop occupying
+        LRU slots.
+        """
+        if not self._estimator_injected:
+            self.estimator = SimpleCostEstimator(self.configuration.build_statistics())
+        self._compile_artifacts()
+        current = self._compiled_version
+        evict = getattr(self.plan_cache, "evict_where", None)
+        if evict is not None:
+            evict(lambda key: key[0] != current)
 
     # ------------------------------------------------------------------
     @property
@@ -87,16 +116,26 @@ class MarsSystem:
         follows the engine configuration.
 
         With a :attr:`plan_cache` attached, the finished
-        :class:`MarsReformulation` is memoized on the query fingerprint and
-        the effective minimize mode; cached results are returned as-is
-        (they are treated as immutable).
+        :class:`MarsReformulation` is memoized on the configuration
+        version, the query fingerprint and the effective minimize mode;
+        cached results are returned as-is (they are treated as immutable).
+        Editing the configuration (new views, constraints, relations) bumps
+        its version: the next call recompiles the derived artifacts and
+        flushes every cache entry of the older version, so a stale plan
+        cannot survive a configuration edit.
         """
+        if self.configuration.version != self._compiled_version:
+            self._recompile()
         cache_key = None
         if self.plan_cache is not None:
             effective_minimize = (
                 self.cb_config.minimize if minimize is None else minimize
             )
-            cache_key = (query.fingerprint(), effective_minimize)
+            cache_key = (
+                self._compiled_version,
+                query.fingerprint(),
+                effective_minimize,
+            )
             cached = self.plan_cache.get(cache_key)
             if cached is not None:
                 return cached

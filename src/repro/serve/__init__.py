@@ -7,7 +7,7 @@ shareable across threads) and single-round-trip union execution.
 """
 
 from .cache import CacheStats, PlanCache
-from .pool import ConnectionPool, PoolStats
+from .pool import ConnectionPool, PoolExhaustedError, PoolStats
 from .service import (
     STRATEGY_BEST,
     STRATEGY_UNION,
@@ -19,6 +19,7 @@ __all__ = [
     "CacheStats",
     "ConnectionPool",
     "PlanCache",
+    "PoolExhaustedError",
     "PoolStats",
     "PublishingService",
     "STRATEGY_BEST",

@@ -27,6 +27,10 @@ class CacheStats:
     hits: int
     misses: int
     evictions: int
+    #: Entries dropped by :meth:`PlanCache.evict_where` (cache
+    #: invalidation after a configuration edit), distinct from LRU
+    #: capacity evictions.
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -51,6 +55,7 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> Optional[Any]:
@@ -75,6 +80,21 @@ class PlanCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+
+    def evict_where(self, predicate) -> int:
+        """Drop every entry whose *key* satisfies *predicate*; return the count.
+
+        This is the invalidation hook: ``MarsSystem`` calls it with a
+        version test after a configuration edit, so plans computed under
+        superseded views/constraints stop occupying LRU slots.  The
+        predicate sees keys only (values may be arbitrarily large).
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations += len(doomed)
+            return len(doomed)
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
@@ -101,6 +121,7 @@ class PlanCache:
                 hits=self._hits,
                 misses=self._misses,
                 evictions=self._evictions,
+                invalidations=self._invalidations,
             )
 
     def clear(self) -> None:

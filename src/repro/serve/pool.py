@@ -44,6 +44,25 @@ class PoolStats:
     checkouts: int
     peak_in_use: int
     wait_count: int
+    #: Threads currently parked in the wait queue.
+    waiting: int = 0
+    #: Acquires rejected because the wait queue was already full.
+    rejections: int = 0
+    #: Identifies the pool in per-shard breakdowns (e.g. ``"shard-2"``).
+    label: str = ""
+
+
+class PoolExhaustedError(StorageError):
+    """Raised when an acquire is rejected or times out; carries the stats.
+
+    :attr:`stats` is the :class:`PoolStats` snapshot taken at rejection
+    time, so admission-control callers can report *why* the pool was full
+    (in-use count, queue depth) without a second call racing the state.
+    """
+
+    def __init__(self, message: str, stats: PoolStats):
+        super().__init__(f"{message} [{stats}]")
+        self.stats = stats
 
 
 class ConnectionPool:
@@ -52,13 +71,31 @@ class ConnectionPool:
     The *template* backend stays owned by the caller (typically the
     executor that built it); the pool owns only the clones it creates and
     closes them in :meth:`close`.
+
+    Admission control: at most *max_waiters* threads may queue for a
+    connection (default ``2 * size``).  An acquire arriving on a full
+    queue fails immediately with :class:`PoolExhaustedError` instead of
+    piling up behind a timeout — under overload, shedding the excess
+    request at once beats making every client wait out the deadline.
     """
 
-    def __init__(self, template: StorageBackend, size: int = 4):
+    def __init__(
+        self,
+        template: StorageBackend,
+        size: int = 4,
+        max_waiters: Optional[int] = None,
+        label: str = "",
+    ):
         if size < 1:
             raise StorageError(f"connection pool needs size >= 1, got {size}")
+        if max_waiters is None:
+            max_waiters = 2 * size
+        if max_waiters < 0:
+            raise StorageError(f"max_waiters must be >= 0, got {max_waiters}")
         self.template = template
         self.size = size
+        self.max_waiters = max_waiters
+        self.label = label
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._all: List[StorageBackend] = []
@@ -76,38 +113,58 @@ class ConnectionPool:
         self._checkouts = 0
         self._peak_in_use = 0
         self._wait_count = 0
+        self._waiting = 0
+        self._rejections = 0
         self._closed = False
 
     # ------------------------------------------------------------------
     def acquire(self, timeout: Optional[float] = None) -> StorageBackend:
-        """Check a connection out, blocking while the pool is exhausted.
+        """Check a connection out, queueing briefly while the pool is busy.
 
-        Raises :class:`StorageError` when the pool is closed or *timeout*
-        seconds elapse without a connection becoming free.  The timeout is
-        a deadline for the whole call: being woken up and losing the idle
-        connection to another thread does not restart the clock.
+        Raises :class:`StorageError` when the pool is closed, and
+        :class:`PoolExhaustedError` — with the :class:`PoolStats` snapshot
+        attached — when the bounded wait queue is already full
+        (*max_waiters* threads parked) or when *timeout* seconds elapse
+        without a connection becoming free.  The timeout is a deadline for
+        the whole call: being woken up and losing the idle connection to
+        another thread does not restart the clock.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._available:
             waited = False
-            while True:
-                if self._closed:
-                    raise StorageError("cannot acquire from a closed pool")
-                if self._idle:
-                    backend = self._idle.pop()
-                    break
-                if not waited:
-                    waited = True
-                    self._wait_count += 1
-                remaining = None
-                if deadline is not None:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        raise StorageError(
-                            f"timed out after {timeout}s waiting for a pooled "
-                            f"connection (size={self.size})"
-                        )
-                self._available.wait(timeout=remaining)
+            try:
+                while True:
+                    if self._closed:
+                        raise StorageError("cannot acquire from a closed pool")
+                    if self._idle:
+                        backend = self._idle.pop()
+                        break
+                    if not waited:
+                        if self._waiting >= self.max_waiters:
+                            self._rejections += 1
+                            raise PoolExhaustedError(
+                                f"connection pool exhausted: {self._in_use} "
+                                f"connection(s) in use and {self._waiting} "
+                                f"waiter(s) already queued "
+                                f"(max_waiters={self.max_waiters})",
+                                self._stats_locked(),
+                            )
+                        waited = True
+                        self._wait_count += 1
+                        self._waiting += 1
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise PoolExhaustedError(
+                                f"timed out after {timeout}s waiting for a "
+                                f"pooled connection (size={self.size})",
+                                self._stats_locked(),
+                            )
+                    self._available.wait(timeout=remaining)
+            finally:
+                if waited:
+                    self._waiting -= 1
             self._in_use += 1
             self._checkouts += 1
             self._peak_in_use = max(self._peak_in_use, self._in_use)
@@ -138,27 +195,43 @@ class ConnectionPool:
     def closed(self) -> bool:
         return self._closed
 
+    def _stats_locked(self) -> PoolStats:
+        return PoolStats(
+            size=self.size,
+            created=len(self._all),
+            in_use=self._in_use,
+            checkouts=self._checkouts,
+            peak_in_use=self._peak_in_use,
+            wait_count=self._wait_count,
+            waiting=self._waiting,
+            rejections=self._rejections,
+            label=self.label,
+        )
+
     def stats(self) -> PoolStats:
         with self._lock:
-            return PoolStats(
-                size=self.size,
-                created=len(self._all),
-                in_use=self._in_use,
-                checkouts=self._checkouts,
-                peak_in_use=self._peak_in_use,
-                wait_count=self._wait_count,
-            )
+            return self._stats_locked()
 
-    def close(self) -> None:
-        """Close every pooled clone; in-flight checkouts close on release.
+    def close(self, force: bool = False) -> None:
+        """Close every pooled clone.
 
-        Idempotent (unlike backend ``close``): a service shutting down must
-        be able to run its teardown twice.  The template backend is not
-        touched.
+        Closing while connections are still checked out is a bug in the
+        caller's shutdown ordering and fails loudly with
+        :class:`StorageError` (nothing is closed); pass ``force=True`` for
+        emergency teardown, in which case in-flight checkouts are closed
+        when they come back.  Idempotent once it succeeds (unlike backend
+        ``close``): a service shutting down must be able to run its
+        teardown twice.  The template backend is not touched.
         """
         with self._available:
             if self._closed:
                 return
+            if self._in_use and not force:
+                raise StorageError(
+                    f"cannot close pool: {self._in_use} connection(s) still "
+                    "checked out (release them first, or close(force=True) "
+                    f"to abandon them) [{self._stats_locked()}]"
+                )
             self._closed = True
             idle = list(self._idle)
             self._idle.clear()

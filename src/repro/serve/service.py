@@ -30,6 +30,8 @@ from ..core.reformulation import MarsReformulation
 from ..core.system import MarsSystem
 from ..errors import ReformulationError, StorageError
 from ..logical.queries import ConjunctiveQuery, UnionQuery
+from ..shard import RouterStats, ShardedBackend
+from ..storage.backends import StorageBackend
 from ..xbind.query import XBindQuery
 from .cache import CacheStats, PlanCache
 from .pool import ConnectionPool, PoolStats
@@ -44,12 +46,23 @@ STRATEGY_UNION = "union"
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """One snapshot of service, plan-cache and pool counters."""
+    """One snapshot of service, plan-cache and pool counters.
+
+    On a sharded deployment :attr:`pool` is the aggregate across shards,
+    :attr:`shard_pools` breaks it down per shard (labelled ``shard-i``) and
+    :attr:`router` reports the routing outcomes (how many queries were
+    pruned to a single shard, scattered, or gathered).  The aggregate's
+    ``peak_in_use`` sums per-shard peaks that may have occurred at
+    different moments — it is an upper bound on the true concurrent peak,
+    not an observation of one; size pools from the per-shard numbers.
+    """
 
     queries_served: int
     reformulations_computed: int
     cache: CacheStats
     pool: PoolStats
+    shard_pools: Tuple[PoolStats, ...] = ()
+    router: Optional[RouterStats] = None
 
 
 class PublishingService:
@@ -72,6 +85,7 @@ class PublishingService:
         system: Optional[MarsSystem] = None,
         strategy: str = STRATEGY_BEST,
         checkout_timeout: Optional[float] = 30.0,
+        max_waiters: Optional[int] = None,
     ):
         if strategy not in (STRATEGY_BEST, STRATEGY_UNION):
             raise ValueError(f"unknown execution strategy {strategy!r}")
@@ -91,12 +105,36 @@ class PublishingService:
             system.plan_cache = plan_cache
         self.system = system
         self.plan_cache: PlanCache = system.plan_cache
-        # Build the instance data once, into the template backend the pool
+        # Build the instance data once, into the template backend the pools
         # will clone from.
         self.executor = MarsExecutor(configuration, backend=backend)
         size = pool_size if pool_size is not None else configuration.pool_size
+        # Sharded deployments get one pool *per shard*: a partition-key
+        # bound query then occupies a connection on exactly one shard,
+        # instead of pinning a full set of per-shard clones per request.
+        self.pool: Optional[ConnectionPool] = None
+        self.shard_pools: Tuple[ConnectionPool, ...] = ()
+        template = self.executor.backend
         try:
-            self.pool = ConnectionPool(self.executor.backend, size=size)
+            if isinstance(template, ShardedBackend):
+                pools = []
+                try:
+                    for index, child in enumerate(template.children):
+                        pools.append(
+                            ConnectionPool(
+                                child,
+                                size=size,
+                                max_waiters=max_waiters,
+                                label=f"shard-{index}",
+                            )
+                        )
+                except Exception:
+                    for pool in pools:
+                        pool.close(force=True)
+                    raise
+                self.shard_pools = tuple(pools)
+            else:
+                self.pool = ConnectionPool(template, size=size, max_waiters=max_waiters)
         except Exception:
             # Don't leak the template connection when pooling fails (bad
             # size, unclonable backend).
@@ -169,6 +207,39 @@ class PublishingService:
             )
         return reformulation.best
 
+    @staticmethod
+    def _execute_on(backend, plan, distinct: bool) -> List[Row]:
+        if isinstance(plan, UnionQuery):
+            return backend.execute_union(plan, distinct=True)
+        return backend.execute(plan, distinct=distinct)
+
+    def _run_plan(self, plan, distinct: bool) -> List[Row]:
+        """Execute one plan on pooled storage (single pool or per-shard pools).
+
+        On a sharded deployment the plan is routed first and connections
+        are checked out *only for the shards the router names*, always in
+        ascending shard order (uniform acquisition order means concurrent
+        multi-shard publishes cannot deadlock against each other).
+        """
+        if self.pool is not None:
+            with self.pool.connection(timeout=self.checkout_timeout) as backend:
+                return self._execute_on(backend, plan, distinct)
+        template = self.executor.backend
+        route = template.route_plan(plan)
+        acquired: List[Tuple[int, StorageBackend]] = []
+        try:
+            children = {}
+            for shard in route.needed_shards:
+                connection = self.shard_pools[shard].acquire(
+                    timeout=self.checkout_timeout
+                )
+                acquired.append((shard, connection))
+                children[shard] = connection
+            return template.execute_routed(route, plan, distinct, children)
+        finally:
+            for shard, connection in acquired:
+                self.shard_pools[shard].release(connection)
+
     def publish(
         self,
         query: XBindQuery,
@@ -180,11 +251,7 @@ class PublishingService:
             raise StorageError("PublishingService is closed")
         effective = self._check_strategy(strategy, distinct)
         plan = self.plan_for(self.reformulate(query), strategy=effective)
-        with self.pool.connection(timeout=self.checkout_timeout) as backend:
-            if isinstance(plan, UnionQuery):
-                rows = backend.execute_union(plan, distinct=True)
-            else:
-                rows = backend.execute(plan, distinct=distinct)
+        rows = self._run_plan(plan, distinct)
         with self._counter_lock:
             self._queries_served += 1
         return rows
@@ -197,7 +264,10 @@ class PublishingService:
     ) -> List[List[Row]]:
         """Serve a batch of queries on this thread, reusing one connection.
 
-        The same rules as :meth:`publish` apply to the whole batch.
+        The same rules as :meth:`publish` apply to the whole batch.  On a
+        sharded deployment each plan routes (and checks out connections)
+        independently, so a batch of pruned queries never pins every shard
+        at once.
         """
         if self._closed:
             raise StorageError("PublishingService is closed")
@@ -207,12 +277,13 @@ class PublishingService:
             for query in queries
         ]
         results: List[List[Row]] = []
-        with self.pool.connection(timeout=self.checkout_timeout) as backend:
+        if self.pool is not None:
+            with self.pool.connection(timeout=self.checkout_timeout) as backend:
+                for plan in plans:
+                    results.append(self._execute_on(backend, plan, distinct))
+        else:
             for plan in plans:
-                if isinstance(plan, UnionQuery):
-                    results.append(backend.execute_union(plan, distinct=True))
-                else:
-                    results.append(backend.execute(plan, distinct=distinct))
+                results.append(self._run_plan(plan, distinct))
         with self._counter_lock:
             self._queries_served += len(queries)
         return results
@@ -224,23 +295,65 @@ class PublishingService:
         with self._counter_lock:
             served = self._queries_served
             computed = self._reformulations_computed
+        if self.pool is not None:
+            return ServiceStats(
+                queries_served=served,
+                reformulations_computed=computed,
+                cache=self.plan_cache.stats(),
+                pool=self.pool.stats(),
+            )
+        per_shard = tuple(pool.stats() for pool in self.shard_pools)
+        aggregate = PoolStats(
+            size=sum(stats.size for stats in per_shard),
+            created=sum(stats.created for stats in per_shard),
+            in_use=sum(stats.in_use for stats in per_shard),
+            checkouts=sum(stats.checkouts for stats in per_shard),
+            peak_in_use=sum(stats.peak_in_use for stats in per_shard),
+            wait_count=sum(stats.wait_count for stats in per_shard),
+            waiting=sum(stats.waiting for stats in per_shard),
+            rejections=sum(stats.rejections for stats in per_shard),
+            label=f"sharded({len(per_shard)})",
+        )
         return ServiceStats(
             queries_served=served,
             reformulations_computed=computed,
             cache=self.plan_cache.stats(),
-            pool=self.pool.stats(),
+            pool=aggregate,
+            shard_pools=per_shard,
+            router=self.executor.backend.router.stats(),
         )
 
     @property
     def closed(self) -> bool:
         return self._closed
 
-    def close(self) -> None:
-        """Release the pool and the template backend; idempotent."""
+    def close(self, force: bool = False) -> None:
+        """Release the pools and the template backend; idempotent.
+
+        Closing while publishes are still in flight fails loudly (the
+        pools refuse to close over checked-out connections); pass
+        ``force=True`` for emergency teardown.
+        """
         if self._closed:
             return
+        pools = ([self.pool] if self.pool is not None else []) + list(self.shard_pools)
+        if not force:
+            # Check all pools up front so a loud failure leaves nothing
+            # half-closed (best effort: a racing in-flight publish can
+            # still trip the per-pool check below).
+            for pool in pools:
+                if pool.stats().in_use:
+                    raise StorageError(
+                        "cannot close PublishingService: publishes still in "
+                        "flight (wait for them, or close(force=True))"
+                    )
+        # Close the pools *before* marking the service closed: if a racing
+        # publish slips past the sweep above and a pool refuses to close,
+        # the service stays open and close() can simply be retried
+        # (pool.close is idempotent once it succeeds).
+        for pool in pools:
+            pool.close(force=force)
         self._closed = True
-        self.pool.close()
         self.executor.close()
 
     def __enter__(self) -> "PublishingService":

@@ -1,0 +1,54 @@
+"""Horizontal partitioning: sharded storage with routing and scatter/gather.
+
+The subsystem splits the proprietary relational store over N child
+backends (any registered engine per shard — mixed ``memory``/``sqlite``
+deployments are first class):
+
+* :mod:`repro.shard.partitioner` — hash/range partitioners and the
+  per-table :class:`PartitionSpec`; unlisted tables are broadcast;
+* :mod:`repro.shard.router` — prunes the shard set per query: bound
+  partition keys execute on exactly one shard, co-partitioned joins
+  scatter, arbitrary cross-shard joins gather pruned fragments;
+* :mod:`repro.shard.executor` — the thread-pool fan-out and set/bag merge;
+* :mod:`repro.shard.backend` — :class:`ShardedBackend`, registered as
+  backend name ``"sharded"``.
+"""
+
+from .backend import ShardedBackend, ShardStats, default_shard_count
+from .executor import ScatterGatherExecutor, merge_rows
+from .partitioner import (
+    HashPartitioner,
+    Partitioner,
+    PartitionSpec,
+    RangePartitioner,
+    stable_hash,
+)
+from .router import (
+    MODE_GATHER,
+    MODE_SCATTER,
+    MODE_SINGLE,
+    RoutePlan,
+    RouterStats,
+    RoutingDecision,
+    ShardRouter,
+)
+
+__all__ = [
+    "HashPartitioner",
+    "MODE_GATHER",
+    "MODE_SCATTER",
+    "MODE_SINGLE",
+    "PartitionSpec",
+    "Partitioner",
+    "RangePartitioner",
+    "RoutePlan",
+    "RouterStats",
+    "RoutingDecision",
+    "ScatterGatherExecutor",
+    "ShardRouter",
+    "ShardStats",
+    "ShardedBackend",
+    "default_shard_count",
+    "merge_rows",
+    "stable_hash",
+]

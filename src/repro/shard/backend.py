@@ -1,0 +1,461 @@
+"""The sharded storage backend: N child engines behind one ``StorageBackend``.
+
+Horizontal partitioning for the MARS proprietary store.  A
+:class:`ShardedBackend` owns ``shards`` child backends — any registered
+engine per shard, so a deployment can mix ``memory`` and ``sqlite``
+children in one sharded store, honouring the paper's mixed-storage theme —
+and splits each table's rows across them:
+
+* tables named in *partition_keys* are split by a
+  :class:`~repro.shard.partitioner.Partitioner` (hash by default, range on
+  request) on the chosen column;
+* every other table is **broadcast**: replicated in full on each shard
+  (dimension tables, GReX encodings of stored XML documents).
+
+Queries go through the :class:`~repro.shard.router.ShardRouter`: a query
+that binds a partition key to a constant executes on exactly one shard (no
+fan-out), co-partitioned joins scatter across all shards on the
+:class:`~repro.shard.executor.ScatterGatherExecutor` thread pool and merge
+under set/bag semantics, and arbitrary cross-shard joins fall back to
+fetching pruned fragments into a coordinator-local scratch store.  Unions
+route per disjunct.
+
+Select it like any other engine: ``create_backend("sharded", shards=4,
+children=("memory", "sqlite", "sqlite", "memory"), partition_keys={...})``,
+or set ``MarsConfiguration.backend = "sharded"`` (shard count defaults to
+the ``MARS_SHARDS`` environment variable) and declare partition keys with
+``configuration.set_partition_key(table, column)``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import EvaluationError, SchemaError, StorageError
+from ..logical.queries import ConjunctiveQuery, UnionQuery
+from ..storage.backends.base import Query, Row, StorageBackend, create_backend
+from ..storage.backends.memory import MemoryBackend
+from .executor import ScatterGatherExecutor, merge_rows
+from .partitioner import HashPartitioner, Partitioner, PartitionSpec
+from .router import (
+    MODE_GATHER,
+    MODE_SINGLE,
+    RoutePlan,
+    RouterStats,
+    ShardRouter,
+)
+
+DEFAULT_SHARD_COUNT = 2
+
+ChildSpec = Union[str, type, StorageBackend]
+
+
+def default_shard_count() -> int:
+    """Shard count used when none is specified: ``MARS_SHARDS`` or 2."""
+    raw = os.environ.get("MARS_SHARDS", "").strip()
+    if not raw:
+        return DEFAULT_SHARD_COUNT
+    try:
+        count = int(raw)
+    except ValueError as error:
+        raise StorageError(f"MARS_SHARDS must be an integer, got {raw!r}") from error
+    if count < 1:
+        raise StorageError(f"MARS_SHARDS must be >= 1, got {count}")
+    return count
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Per-shard execution counters plus the router's routing outcomes."""
+
+    shard_count: int
+    #: Full-query executions per shard (single-shard and scatter modes).
+    executions_per_shard: Tuple[int, ...]
+    #: Fragment fetches per shard performed by gather-mode execution.
+    gather_fetches_per_shard: Tuple[int, ...]
+    router: RouterStats
+
+
+class ShardedBackend(StorageBackend):
+    """A :class:`StorageBackend` that partitions tables over child backends."""
+
+    backend_name = "sharded"
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        children: Union[None, ChildSpec, Sequence[ChildSpec]] = None,
+        partition_keys: Optional[Mapping[str, Union[str, int]]] = None,
+        partitioners: Optional[Mapping[str, Partitioner]] = None,
+        max_workers: Optional[int] = None,
+    ):
+        specs = self._resolve_child_specs(shards, children)
+        self.shard_count = len(specs)
+        self._children: List[StorageBackend] = []
+        try:
+            for spec in specs:
+                self._children.append(self._create_child(spec))
+        except Exception:
+            for child in self._children:
+                if not child.closed:
+                    child.close()
+            raise
+        self._partition_keys: Dict[str, Union[str, int]] = dict(partition_keys or {})
+        self._partitioners: Dict[str, Partitioner] = dict(partitioners or {})
+        self._arities: Dict[str, int] = {}
+        self._attributes: Dict[str, Tuple[str, ...]] = {}
+        self._specs: Dict[str, PartitionSpec] = {}
+        self.router = ShardRouter(self._specs, self.shard_count)
+        self._max_workers = max_workers or self.shard_count
+        self._sg = ScatterGatherExecutor(self._max_workers)
+        self._stats_lock = threading.Lock()
+        self._executions = [0] * self.shard_count
+        self._gather_fetches = [0] * self.shard_count
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_child_specs(
+        shards: Optional[int],
+        children: Union[None, ChildSpec, Sequence[ChildSpec]],
+    ) -> List[ChildSpec]:
+        if children is None or isinstance(children, (str, type, StorageBackend)):
+            count = shards if shards is not None else default_shard_count()
+            if count < 1:
+                raise StorageError(f"sharded backend needs shards >= 1, got {count}")
+            return [children if children is not None else "memory"] * count
+        specs = list(children)
+        if not specs:
+            raise StorageError("sharded backend needs at least one child")
+        if shards is not None and shards != len(specs):
+            raise StorageError(
+                f"shards={shards} does not match the {len(specs)} child "
+                "backend specifications"
+            )
+        return specs
+
+    @staticmethod
+    def _create_child(spec: ChildSpec) -> StorageBackend:
+        if spec == "sharded" or (
+            isinstance(spec, type) and issubclass(spec, ShardedBackend)
+        ):
+            raise StorageError("sharded backends cannot nest sharded children")
+        if isinstance(spec, StorageBackend):
+            return spec
+        # SQLite children must be thread-portable: the scatter/gather pool
+        # executes them from worker threads, not the constructing thread.
+        try:
+            return create_backend(spec, check_same_thread=False)
+        except TypeError:
+            return create_backend(spec)
+
+    @property
+    def children(self) -> Tuple[StorageBackend, ...]:
+        """The child backends, in shard order (shard ``i`` is ``children[i]``)."""
+        return tuple(self._children)
+
+    def partition_spec(self, table: str) -> Optional[PartitionSpec]:
+        """The partitioning of *table*, or ``None`` when it is broadcast."""
+        return self._specs.get(table)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError(
+                "ShardedBackend has been closed; create a new backend instead"
+            )
+
+    # ------------------------------------------------------------------
+    # Schema and data loading
+    # ------------------------------------------------------------------
+    def create_table(
+        self, name: str, arity: int, attributes: Optional[Sequence[str]] = None
+    ) -> None:
+        self._require_open()
+        if name in self._arities:
+            raise SchemaError(f"table {name} already exists")
+        if attributes is not None and len(attributes) != arity:
+            raise SchemaError(f"table {name}: attribute count does not match arity")
+        columns = (
+            tuple(attributes) if attributes else tuple(f"c{i}" for i in range(arity))
+        )
+        for child in self._children:
+            child.create_table(name, arity, columns)
+        self._arities[name] = arity
+        self._attributes[name] = columns
+        key = self._partition_keys.get(name)
+        if key is not None:
+            self._specs[name] = self._build_spec(name, key, columns)
+
+    def _build_spec(
+        self, name: str, key: Union[str, int], columns: Tuple[str, ...]
+    ) -> PartitionSpec:
+        if isinstance(key, int):
+            if not 0 <= key < len(columns):
+                raise SchemaError(
+                    f"table {name}: partition-key position {key} is out of "
+                    f"range for arity {len(columns)}"
+                )
+            position = key
+        else:
+            try:
+                position = columns.index(key)
+            except ValueError as error:
+                raise SchemaError(
+                    f"table {name}: partition-key column {key!r} is not one "
+                    f"of {columns}"
+                ) from error
+        partitioner = self._partitioners.get(name, HashPartitioner())
+        return PartitionSpec(
+            table=name,
+            column=columns[position],
+            position=position,
+            partitioner=partitioner,
+        )
+
+    def has_table(self, name: str) -> bool:
+        return name in self._arities
+
+    def clear_table(self, name: str) -> None:
+        self._require_table(name)
+        for child in self._children:
+            child.clear_table(name)
+
+    def insert_many(self, name: str, rows: Iterable[Sequence[object]]) -> None:
+        arity = self._require_table(name)
+        prepared: List[Tuple[object, ...]] = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise EvaluationError(
+                    f"table {name}: expected {arity} values, got {len(row)}"
+                )
+            prepared.append(row)
+        if not prepared:
+            return
+        spec = self._specs.get(name)
+        if spec is None:
+            for child in self._children:
+                child.insert_many(name, prepared)
+            return
+        buckets: Dict[int, List[Tuple[object, ...]]] = {}
+        for row in prepared:
+            shard = spec.partitioner.shard_of(row[spec.position], self.shard_count)
+            buckets.setdefault(shard, []).append(row)
+        for shard, bucket in buckets.items():
+            self._children[shard].insert_many(name, bucket)
+
+    def _require_table(self, name: str) -> int:
+        self._require_open()
+        try:
+            return self._arities[name]
+        except KeyError as error:
+            raise EvaluationError(f"unknown table {name!r}") from error
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(self._arities)
+
+    def rows(self, name: str) -> Sequence[Row]:
+        self._require_table(name)
+        if name not in self._specs:
+            return self._children[0].rows(name)
+        combined: List[Row] = []
+        for child in self._children:
+            combined.extend(tuple(row) for row in child.rows(name))
+        return tuple(combined)
+
+    def cardinalities(self) -> Dict[str, int]:
+        self._require_open()
+        return {name: self.cardinality(name) for name in self._arities}
+
+    def cardinality(self, name: str) -> int:
+        self._require_open()
+        if name not in self._arities:
+            return 0
+        if name not in self._specs:
+            return self._children[0].cardinality(name)
+        return sum(child.cardinality(name) for child in self._children)
+
+    def fragment_cardinalities(self, name: str) -> Tuple[int, ...]:
+        """Row counts of *name* per shard (broadcast tables repeat the count)."""
+        self._require_table(name)
+        return tuple(child.cardinality(name) for child in self._children)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def route_plan(self, plan: Query) -> RoutePlan:
+        """The routing decisions for *plan* (one per union disjunct)."""
+        self._require_open()
+        return self.router.route_plan(plan)
+
+    def execute(self, query: Query, distinct: bool = True) -> List[Row]:
+        return self.execute_routed(self.route_plan(query), query, distinct)
+
+    def execute_union(self, union: Query, distinct: bool = True) -> List[Row]:
+        """Unions route per disjunct; see :meth:`execute`."""
+        return self.execute(union, distinct=distinct)
+
+    def execute_routed(
+        self,
+        plan: RoutePlan,
+        query: Query,
+        distinct: bool = True,
+        children: Optional[Mapping[int, StorageBackend]] = None,
+    ) -> List[Row]:
+        """Execute *query* under an already-computed :class:`RoutePlan`.
+
+        *children* substitutes the engines used per shard — the publishing
+        service passes pool-checked-out clones here, keyed by shard id and
+        covering at least ``plan.needed_shards``.  ``None`` uses this
+        backend's own children.
+        """
+        self._require_open()
+        engines: Mapping[int, StorageBackend] = (
+            children if children is not None else dict(enumerate(self._children))
+        )
+        is_union = isinstance(query, UnionQuery)
+        per_disjunct: List[List[Row]] = []
+        for disjunct, decision in plan.decisions:
+            if decision.mode == MODE_GATHER:
+                rows = self._execute_gather(decision, disjunct, distinct, engines)
+            else:
+                tasks = [
+                    (
+                        shard,
+                        lambda shard=shard: engines[shard].execute(
+                            disjunct, distinct=distinct
+                        ),
+                    )
+                    for shard in decision.shards
+                ]
+                results = self._sg.run(tasks)
+                with self._stats_lock:
+                    for shard in decision.shards:
+                        self._executions[shard] += 1
+                rows = merge_rows(results, distinct)
+            per_disjunct.append(rows)
+        if not is_union:
+            return per_disjunct[0]
+        # Same set/bag semantics as the per-shard merge, across disjuncts.
+        return merge_rows(list(enumerate(per_disjunct)), distinct)
+
+    def _execute_gather(
+        self,
+        decision,
+        query: ConjunctiveQuery,
+        distinct: bool,
+        engines: Mapping[int, StorageBackend],
+    ) -> List[Row]:
+        """Pull pruned table fragments to a scratch store and evaluate there."""
+        scratch = MemoryBackend()
+        for table, shards in decision.fetch_shards:
+            arity = self._require_table(table)
+            scratch.create_table(table, arity, self._attributes[table])
+            fragments: List[Sequence[Row]] = []
+            for shard in shards:
+                fragments.append(engines[shard].rows(table))
+            with self._stats_lock:
+                for shard in shards:
+                    self._gather_fetches[shard] += 1
+            for fragment in fragments:
+                scratch.insert_many(table, fragment)
+        return scratch.execute(query, distinct=distinct)
+
+    def explain(self, query: Query) -> str:
+        """The routing decisions plus the first target shard's own plan."""
+        self._require_open()
+        plan = self.route_plan(query)
+        lines = [
+            f"sharded plan for {getattr(query, 'name', '<query>')} "
+            f"({self.shard_count} shards):"
+        ]
+        for disjunct, decision in plan.decisions:
+            if decision.mode == MODE_GATHER:
+                fetch = ", ".join(
+                    f"{table}<-shards{list(shards)}"
+                    for table, shards in decision.fetch_shards
+                )
+                lines.append(
+                    f"  {disjunct.name}: gather at coordinator ({fetch}) "
+                    f"[{decision.reason}]"
+                )
+                continue
+            mode = "single-shard" if decision.mode == MODE_SINGLE else "scatter"
+            lines.append(
+                f"  {disjunct.name}: {mode} -> shards {list(decision.shards)} "
+                f"[{decision.reason}]"
+            )
+            child_plan = self._children[decision.shards[0]].explain(disjunct)
+            lines.extend(
+                f"    [shard {decision.shards[0]}] {line}"
+                for line in child_plan.splitlines()
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> ShardStats:
+        with self._stats_lock:
+            executions = tuple(self._executions)
+            fetches = tuple(self._gather_fetches)
+        return ShardStats(
+            shard_count=self.shard_count,
+            executions_per_shard=executions,
+            gather_fetches_per_shard=fetches,
+            router=self.router.stats(),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close every child and stop the fan-out pool; double close raises."""
+        if self._closed:
+            raise StorageError("ShardedBackend.close() called twice")
+        self._closed = True
+        self._sg.shutdown()
+        for child in self._children:
+            if not child.closed:
+                child.close()
+
+    def clone(self) -> "ShardedBackend":
+        """A sharded backend over clones of every child (for pooling)."""
+        self._require_open()
+        clone = ShardedBackend.__new__(ShardedBackend)
+        clone.shard_count = self.shard_count
+        clone._children = []
+        try:
+            for child in self._children:
+                clone._children.append(child.clone())
+        except Exception:
+            for cloned in clone._children:
+                if not cloned.closed:
+                    cloned.close()
+            raise
+        clone._partition_keys = dict(self._partition_keys)
+        clone._partitioners = dict(self._partitioners)
+        clone._arities = dict(self._arities)
+        clone._attributes = dict(self._attributes)
+        clone._specs = dict(self._specs)
+        clone.router = ShardRouter(clone._specs, clone.shard_count)
+        clone._max_workers = self._max_workers
+        clone._sg = ScatterGatherExecutor(clone._max_workers)
+        clone._stats_lock = threading.Lock()
+        clone._executions = [0] * clone.shard_count
+        clone._gather_fetches = [0] * clone.shard_count
+        clone._closed = False
+        return clone

@@ -1,0 +1,118 @@
+"""Partitioning policies: which shard of a sharded table holds a row.
+
+A :class:`Partitioner` maps a *partition-key value* to a shard index.  The
+:class:`~repro.shard.backend.ShardedBackend` keys each partitioned table on
+one chosen column (a :class:`PartitionSpec`); tables without a spec are
+*broadcast* — replicated in full on every shard — which is the right mode
+for small dimension tables (and for the GReX encodings of stored XML
+documents, which every shard may need to join against).
+
+Two partitioners ship:
+
+* :class:`HashPartitioner` — a process-stable hash of the key value modulo
+  the shard count.  Stability matters: Python's builtin ``hash`` of strings
+  is randomized per process (``PYTHONHASHSEED``), which would route the
+  same row to different shards in different runs, so the hash here is a
+  CRC-32 of the value's ``repr``.
+* :class:`RangePartitioner` — explicit sorted boundaries; shard ``i`` holds
+  values below ``boundaries[i]`` (the last shard takes the open tail).
+
+Partitioners are value objects (frozen dataclasses): two tables are
+*co-partitioned* exactly when their specs carry equal partitioners, which
+is what the router's scatter-correctness check compares.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import StorageError
+
+
+def stable_hash(value: object) -> int:
+    """A hash of *value* that is identical across processes and runs."""
+    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
+
+
+class Partitioner(abc.ABC):
+    """Maps a partition-key value to the index of the shard holding it."""
+
+    #: Short name of the partitioning scheme ("hash", "range", ...).
+    mode: str = "abstract"
+
+    @abc.abstractmethod
+    def shard_of(self, value: object, shard_count: int) -> int:
+        """The shard index in ``range(shard_count)`` that owns *value*."""
+
+    def compatible_with(self, other: "Partitioner") -> bool:
+        """Whether two tables partitioned with these schemes are co-partitioned.
+
+        Co-partitioned tables send rows with equal key values to the same
+        shard, which lets the router scatter a join on the shared key
+        without missing cross-shard pairs.  Value-object equality is the
+        default test; schemes with laxer guarantees can override.
+        """
+        return self == other
+
+
+@dataclass(frozen=True)
+class HashPartitioner(Partitioner):
+    """Uniform hash partitioning on the stable CRC-32 of the key value."""
+
+    mode = "hash"
+
+    def shard_of(self, value: object, shard_count: int) -> int:
+        return stable_hash(value) % shard_count
+
+
+@dataclass(frozen=True)
+class RangePartitioner(Partitioner):
+    """Range partitioning on sorted upper boundaries.
+
+    ``boundaries[i]`` is the exclusive upper bound of shard ``i``; values at
+    or above the last boundary land on the last shard.  With fewer
+    boundaries than ``shard_count - 1`` the trailing shards stay empty,
+    which is legal (a deployment may pre-provision shards for growth).
+    """
+
+    boundaries: Tuple[object, ...]
+
+    mode = "range"
+
+    def __init__(self, boundaries: Sequence[object]):
+        ordered = tuple(boundaries)
+        if ordered != tuple(sorted(ordered)):
+            raise StorageError(
+                f"range partition boundaries must be sorted, got {ordered!r}"
+            )
+        object.__setattr__(self, "boundaries", ordered)
+
+    def shard_of(self, value: object, shard_count: int) -> int:
+        try:
+            index = bisect_right(self.boundaries, value)
+        except TypeError as error:
+            raise StorageError(
+                f"partition-key value {value!r} is not comparable with the "
+                f"range boundaries {self.boundaries!r}"
+            ) from error
+        return min(index, shard_count - 1)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How one table is split: the key column and the partitioner."""
+
+    table: str
+    column: str
+    position: int
+    partitioner: Partitioner
+
+    def describe(self) -> str:
+        return (
+            f"{self.table} {self.partitioner.mode}-partitioned "
+            f"on {self.column} (position {self.position})"
+        )

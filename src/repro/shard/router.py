@@ -1,0 +1,266 @@
+"""Shard routing: decide which shards a reformulation must touch.
+
+Every horizontal-partitioning system needs an argument for why executing a
+query per shard and merging is *correct*; the router encodes that argument
+as three execution modes, picked per conjunctive query (per disjunct of a
+union — each disjunct routes independently):
+
+``single``
+    The whole query runs on one shard.  Sound in two cases: (a) the query
+    mentions only broadcast tables, which are complete on every shard (any
+    shard answers; the router round-robins to spread load); (b) every
+    partitioned atom binds its partition key to a constant and all those
+    constants route to the same shard — rows matching the atoms exist
+    nowhere else, so no other shard can contribute.  Case (b) is the
+    *shard-pruning fast path*: no fan-out, one engine round trip.
+
+``scatter``
+    The query runs unchanged on every shard and the per-shard answers are
+    merged (concatenation under bag semantics, de-duplication under set
+    semantics).  Sound when all partitioned atoms carry the *same term* at
+    their key position with mutually compatible partitioners: any
+    satisfying assignment gives that term one value, all matching
+    partitioned rows live on that value's shard, and broadcast tables are
+    complete everywhere — so each answer is produced by exactly one shard
+    (co-partitioned join).  A single partitioned atom is the degenerate
+    co-partitioned case.
+
+``gather``
+    The fallback for arbitrary cross-shard joins (partitioned atoms keyed
+    on different terms): shard fragments of the referenced tables are
+    pulled to a coordinator-local scratch store and the query is evaluated
+    there.  Always correct; the router still prunes the *fetch* — an atom
+    that binds its key to a constant only needs that constant's shard, and
+    broadcast tables are fetched from a single shard.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..logical.queries import ConjunctiveQuery, UnionQuery
+from ..logical.terms import Constant, Term
+from .partitioner import PartitionSpec
+
+Query = Union[ConjunctiveQuery, UnionQuery]
+
+MODE_SINGLE = "single"
+MODE_SCATTER = "scatter"
+MODE_GATHER = "gather"
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """How one conjunctive query executes across the shard set."""
+
+    mode: str
+    #: Shards the query itself runs on (``single``/``scatter``); empty for
+    #: ``gather``, whose work is described by :attr:`fetch_shards`.
+    shards: Tuple[int, ...]
+    #: ``gather`` only: ``(table, shards-to-fetch-the-fragment-from)`` pairs.
+    fetch_shards: Tuple[Tuple[str, Tuple[int, ...]], ...]
+    reason: str
+
+    @property
+    def needed_shards(self) -> Tuple[int, ...]:
+        """Every shard this decision touches (execution or fragment fetch)."""
+        if self.mode != MODE_GATHER:
+            return self.shards
+        touched: Set[int] = set()
+        for _table, shards in self.fetch_shards:
+            touched.update(shards)
+        return tuple(sorted(touched))
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """The routing decisions for a whole plan (one per disjunct)."""
+
+    decisions: Tuple[Tuple[ConjunctiveQuery, RoutingDecision], ...]
+
+    @property
+    def needed_shards(self) -> Tuple[int, ...]:
+        touched: Set[int] = set()
+        for _query, decision in self.decisions:
+            touched.update(decision.needed_shards)
+        return tuple(sorted(touched))
+
+    def describe(self) -> str:
+        lines = []
+        for query, decision in self.decisions:
+            target = (
+                f"shards {list(decision.shards)}"
+                if decision.mode != MODE_GATHER
+                else "coordinator (fetch "
+                + ", ".join(
+                    f"{table}<-{list(shards)}" for table, shards in decision.fetch_shards
+                )
+                + ")"
+            )
+            lines.append(f"{query.name}: {decision.mode} -> {target} [{decision.reason}]")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RouterStats:
+    """Counters of routing outcomes since the router was created."""
+
+    queries: int
+    single_shard: int
+    scatter: int
+    gather: int
+
+
+class ShardRouter:
+    """Prunes the shard set of queries over a fixed partitioning layout.
+
+    *specs* is the live ``table -> PartitionSpec`` mapping owned by the
+    sharded backend (tables registered after construction are seen).  The
+    router is thread-safe: decisions are pure functions of the query and
+    the layout, and the outcome counters take an internal lock.
+    """
+
+    def __init__(self, specs: Mapping[str, PartitionSpec], shard_count: int):
+        self._specs = specs
+        self.shard_count = shard_count
+        self._lock = threading.Lock()
+        self._rotation = itertools.count()
+        self._queries = 0
+        self._single = 0
+        self._scatter = 0
+        self._gather = 0
+
+    # ------------------------------------------------------------------
+    def route(self, query: ConjunctiveQuery) -> RoutingDecision:
+        """The execution mode and shard set for one conjunctive query."""
+        decision = self._decide(query)
+        with self._lock:
+            self._queries += 1
+            if decision.mode == MODE_SINGLE:
+                self._single += 1
+            elif decision.mode == MODE_SCATTER:
+                self._scatter += 1
+            else:
+                self._gather += 1
+        return decision
+
+    def route_plan(self, plan: Query) -> RoutePlan:
+        """Routing decisions for a conjunctive query or a whole union.
+
+        Union disjuncts route independently, so a union whose disjuncts all
+        bind their partition keys fans out only to the shards actually
+        named by the constants.
+        """
+        disjuncts = plan if isinstance(plan, UnionQuery) else (plan,)
+        return RoutePlan(
+            decisions=tuple((disjunct, self.route(disjunct)) for disjunct in disjuncts)
+        )
+
+    def stats(self) -> RouterStats:
+        with self._lock:
+            return RouterStats(
+                queries=self._queries,
+                single_shard=self._single,
+                scatter=self._scatter,
+                gather=self._gather,
+            )
+
+    # ------------------------------------------------------------------
+    def _decide(self, query: ConjunctiveQuery) -> RoutingDecision:
+        normalized = query.normalize_equalities()
+        keyed: List[Tuple[PartitionSpec, Term]] = []
+        for atom in normalized.relational_body:
+            spec = self._specs.get(atom.relation)
+            if spec is not None:
+                keyed.append((spec, atom.terms[spec.position]))
+        if not keyed:
+            shard = next(self._rotation) % self.shard_count
+            return RoutingDecision(
+                mode=MODE_SINGLE,
+                shards=(shard,),
+                fetch_shards=(),
+                reason="only broadcast tables; any shard answers",
+            )
+        if all(isinstance(term, Constant) for _spec, term in keyed):
+            targets = {
+                spec.partitioner.shard_of(term.value, self.shard_count)
+                for spec, term in keyed
+            }
+            if len(targets) == 1:
+                spec, term = keyed[0]
+                return RoutingDecision(
+                    mode=MODE_SINGLE,
+                    shards=(next(iter(targets)),),
+                    fetch_shards=(),
+                    reason=(
+                        f"partition key bound: {spec.table}.{spec.column} "
+                        f"= {term.value!r}"
+                    ),
+                )
+            # Constants routing to different shards: each atom's rows live
+            # wholly on its own shard, so no single shard sees them all.
+            return self._gather_decision(
+                normalized, "partition keys bound to different shards"
+            )
+        key_terms = {term for _spec, term in keyed}
+        partitioners = [spec.partitioner for spec, _term in keyed]
+        co_partitioned = len(key_terms) == 1 and all(
+            partitioner.compatible_with(partitioners[0])
+            for partitioner in partitioners[1:]
+        )
+        if co_partitioned:
+            term = next(iter(key_terms))
+            return RoutingDecision(
+                mode=MODE_SCATTER,
+                shards=tuple(range(self.shard_count)),
+                fetch_shards=(),
+                reason=(
+                    f"co-partitioned on {term}"
+                    if len(keyed) > 1
+                    else "one partitioned table, key unbound"
+                ),
+            )
+        return self._gather_decision(
+            normalized, "partitioned atoms keyed on different terms"
+        )
+
+    def _gather_decision(
+        self, normalized: ConjunctiveQuery, reason: str
+    ) -> RoutingDecision:
+        """Coordinator execution, fetching only the shard fragments needed."""
+        # Broadcast tables are complete on every shard, so one copy is
+        # enough — rotate which shard serves it (the same load-spreading
+        # as broadcast-only single-shard routing; always fetching from
+        # shard 0 would make its connection pool a gather hotspot).
+        broadcast_shard = next(self._rotation) % self.shard_count
+        fetch: List[Tuple[str, Tuple[int, ...]]] = []
+        for table in sorted(normalized.relation_names()):
+            spec = self._specs.get(table)
+            if spec is None:
+                fetch.append((table, (broadcast_shard,)))
+                continue
+            shard_sets: List[Optional[Set[int]]] = []
+            for atom in normalized.relational_body:
+                if atom.relation != table:
+                    continue
+                term = atom.terms[spec.position]
+                if isinstance(term, Constant):
+                    shard_sets.append(
+                        {spec.partitioner.shard_of(term.value, self.shard_count)}
+                    )
+                else:
+                    shard_sets.append(None)
+            if any(shard_set is None for shard_set in shard_sets):
+                shards: Tuple[int, ...] = tuple(range(self.shard_count))
+            else:
+                union: Set[int] = set()
+                for shard_set in shard_sets:
+                    union.update(shard_set or ())
+                shards = tuple(sorted(union))
+            fetch.append((table, shards))
+        return RoutingDecision(
+            mode=MODE_GATHER, shards=(), fetch_shards=tuple(fetch), reason=reason
+        )

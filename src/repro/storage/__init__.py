@@ -3,6 +3,7 @@
 from .backends import (
     MemoryBackend,
     SQLiteBackend,
+    ShardedBackend,
     StorageBackend,
     available_backends,
     create_backend,
@@ -24,6 +25,7 @@ __all__ = [
     "MemoryBackend",
     "SQLQuery",
     "SQLiteBackend",
+    "ShardedBackend",
     "StorageBackend",
     "Table",
     "TableStatistics",

@@ -1,7 +1,9 @@
 """Pluggable storage backends executing MARS reformulations.
 
 The default ``memory`` backend runs the original hash-join evaluator; the
-``sqlite`` backend ships the parameterized SQL to a real relational engine.
+``sqlite`` backend ships the parameterized SQL to a real relational engine;
+the ``sharded`` backend partitions tables over N child backends (any mix of
+the other engines) with shard-pruning routing and scatter/gather execution.
 Select one with ``create_backend("sqlite")`` or via
 ``MarsConfiguration.backend`` / ``MarsExecutor(configuration, backend=...)``.
 """
@@ -21,11 +23,19 @@ from .sqlite import SQLiteBackend
 register_backend("memory", MemoryBackend)
 register_backend("sqlite", SQLiteBackend)
 
+# Imported after the registry exists: the sharded backend builds its child
+# engines through create_backend at runtime but only needs base.py at
+# import time, so there is no cycle.
+from ...shard.backend import ShardedBackend  # noqa: E402
+
+register_backend("sharded", ShardedBackend)
+
 __all__ = [
     "MemoryBackend",
     "Query",
     "Row",
     "SQLiteBackend",
+    "ShardedBackend",
     "StorageBackend",
     "available_backends",
     "create_backend",

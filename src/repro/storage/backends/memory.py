@@ -88,14 +88,27 @@ class MemoryBackend(StorageBackend):
             raise StorageError("cannot clone a closed MemoryBackend")
         return MemoryBackend(self.database)
 
+    def _distinct_count(self, relation: str, position: int) -> int:
+        """Distinct values in one column of the stored data (>= 1)."""
+        values = {row[position] for row in self.database.rows(relation)}
+        return max(1, len(values))
+
     def explain(self, query: Query) -> str:
-        """Describe the left-to-right hash-join order the evaluator will use."""
+        """Describe the hash-join order with estimated cardinalities per step.
+
+        Each step reports the estimated intermediate result size under the
+        textbook uniformity model: joining/selecting on a probed column
+        divides by that column's distinct-value count (computed from the
+        actual data, so the estimates are the ones a cost-from-statistics
+        estimator would derive from this backend).
+        """
         if isinstance(query, UnionQuery):
             parts = [self.explain(disjunct) for disjunct in query]
             return "\nUNION\n".join(parts)
         query = query.normalize_equalities()
         lines = [f"hash-join pipeline for {query.name}:"]
         bound = set()
+        estimate = 1.0
         for step, atom in enumerate(query.relational_body, start=1):
             probe_positions = [
                 index
@@ -106,8 +119,20 @@ class MemoryBackend(StorageBackend):
             mode = (
                 f"probe on positions {probe_positions}" if probe_positions else "scan"
             )
-            lines.append(f"  {step}. {atom.relation} [{count} rows, {mode}]")
+            selectivity = 1.0
+            for position in probe_positions:
+                selectivity /= self._distinct_count(atom.relation, position)
+            estimate *= count * selectivity
+            lines.append(
+                f"  {step}. {atom.relation} [{count} rows, {mode}] "
+                f"-> est. {estimate:.1f} rows"
+            )
             bound.update(term for term in atom.terms if is_variable(term))
         if not query.relational_body:
             lines.append("  (no relational atoms: constant-only evaluation)")
+        else:
+            lines.append(
+                f"  estimated result: {estimate:.1f} rows "
+                "(before projection/dedup)"
+            )
         return "\n".join(lines)

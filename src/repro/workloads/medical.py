@@ -173,6 +173,13 @@ def build_configuration(
     configuration.publish_document_as_is(CATALOG_DOCUMENT, build_catalog_document(catalog))
     configuration.add_xml_view(case_map_view(), published=True)
     configuration.add_relational_view(drug_price_view(), attributes=("drug", "price"))
+    # Sharding hints: the two patient tables split on the (hidden) patient
+    # name — CaseMap joins them on it, so a sharded deployment keeps that
+    # join co-partitioned — and the redundant price copy splits on drug.
+    # The catalog's GReX encoding stays broadcast (small dimension data).
+    configuration.set_partition_key("patientDiag", "name")
+    configuration.set_partition_key("patientDrug", "name")
+    configuration.set_partition_key("drugPrice", "drug")
     if include_cache:
         cache = cache_view()
         configuration.add_xml_view(cache, published=False)

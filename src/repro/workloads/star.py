@@ -205,14 +205,20 @@ def build_configuration(
             attributes=("k",) + tuple(f"a{i}" for i in range(1, parameters.corners + 1)),
         )
         configuration.add_key("R_store", ("k",))
+        # Sharding hints: the hub splits on its key; corner tables split on
+        # their A value (the hub's foreign key into them).
+        configuration.set_partition_key("R_store", "k")
         for index in range(1, parameters.corners + 1):
             configuration.add_relational_view(
                 corner_shredding_view(index), attributes=("a", "b")
             )
+            configuration.set_partition_key(f"S{index}_store", "a")
     for index in range(1, parameters.view_count + 1):
         configuration.add_relational_view(
             star_view(index), attributes=("k", "b_left", "b_right")
         )
+        # The star views carry the hub key, so they shard alongside it.
+        configuration.set_partition_key(view_name(index), "k")
     return configuration
 
 

@@ -184,6 +184,14 @@ def build_configuration(
     configuration.add_relational_view(
         auction_price_view(), attributes=("item_id", "buyer_id", "price")
     )
+    # Sharding hints: the item-keyed views split on item_id (so the
+    # item-name/auction-price join Q4 exercises is co-partitioned), the
+    # person directory on person_id.  The auction document's GReX encoding
+    # stays broadcast.
+    configuration.set_partition_key("itemName", "item_id")
+    configuration.set_partition_key("itemCategory", "item_id")
+    configuration.set_partition_key("personDirectory", "person_id")
+    configuration.set_partition_key("auctionPrice", "item_id")
     return configuration
 
 

@@ -117,6 +117,31 @@ class RandomQueryGenerator:
             ),
         )
 
+    def key_bound_conjunctive(
+        self, name: str, table: str, position: int
+    ) -> ConjunctiveQuery:
+        """A single-table query binding column *position* to a stored value.
+
+        Used by the sharding differential tests: binding a table's
+        partition-key column to a constant makes the query prunable to one
+        shard, and drawing the constant from the stored data keeps the
+        answer non-trivially non-empty.
+        """
+        rng = self.rng
+        value = rng.choice(sorted(set(self._column_values(table, position)), key=repr))
+        arity = len(self.tables[table][0])
+        terms: List = []
+        variables: List[Variable] = []
+        for index in range(arity):
+            if index == position:
+                terms.append(Constant(value))
+            else:
+                variable = self._fresh_variable()
+                variables.append(variable)
+                terms.append(variable)
+        head = tuple(variables) if variables else (Constant("hit"),)
+        return ConjunctiveQuery(name, head, (RelationalAtom(table, tuple(terms)),))
+
 
 @pytest.fixture
 def query_generator():

@@ -35,6 +35,9 @@ from repro.workloads import medical, star, xmark
 from repro.workloads.star import StarParameters
 
 BACKEND_NAMES = ("memory", "sqlite")
+#: Engines that must satisfy the full StorageBackend protocol; "sharded"
+#: runs here with its defaults (2 memory children, everything broadcast).
+PROTOCOL_BACKENDS = BACKEND_NAMES + ("sharded",)
 
 
 def multiset(rows):
@@ -44,7 +47,7 @@ def multiset(rows):
 # ----------------------------------------------------------------------
 # Protocol-level behaviour, identical across implementations
 # ----------------------------------------------------------------------
-@pytest.fixture(params=BACKEND_NAMES)
+@pytest.fixture(params=PROTOCOL_BACKENDS)
 def backend(request):
     instance = create_backend(request.param)
     yield instance
@@ -162,7 +165,7 @@ class TestBackendProtocol:
 
 class TestBackendFactory:
     def test_registry_names(self):
-        assert set(BACKEND_NAMES) <= set(available_backends())
+        assert set(PROTOCOL_BACKENDS) <= set(available_backends())
 
     def test_default_is_memory(self, monkeypatch):
         monkeypatch.delenv("MARS_BACKEND", raising=False)
@@ -329,21 +332,34 @@ class TestCrossBackendEquivalence:
         system = MarsSystem(configuration)
         memory_executor = MarsExecutor(configuration, backend="memory")
         sqlite_executor = MarsExecutor(configuration, backend="sqlite")
+        # the sharded executor picks up the workload's partition-key hints
+        # through the configuration (2 shards, one engine of each kind)
+        sharded_executor = MarsExecutor(
+            configuration,
+            backend=configuration.create_backend(
+                "sharded", shards=2, children=("memory", "sqlite")
+            ),
+        )
+        others = (sqlite_executor, sharded_executor)
         for query in queries:
             result = system.reformulate(query)
             assert result.found, f"{name}: no reformulation for {query.name}"
             memory_rows = memory_executor.execute_reformulation(result.best)
-            sqlite_rows = sqlite_executor.execute_reformulation(result.best)
-            assert multiset(memory_rows) == multiset(sqlite_rows), (
-                f"{name}/{query.name}: backends disagree"
-            )
+            for other in others:
+                other_rows = other.execute_reformulation(result.best)
+                assert multiset(memory_rows) == multiset(other_rows), (
+                    f"{name}/{query.name}: backends disagree"
+                )
             # Every minimal reformulation must agree as well, not just the best.
             for candidate in result.minimal:
-                assert multiset(
+                expected = multiset(
                     memory_executor.execute_reformulation(candidate)
-                ) == multiset(sqlite_executor.execute_reformulation(candidate)), (
-                    f"{name}/{query.name}: disagreement on {candidate.name}"
                 )
+                for other in others:
+                    assert expected == multiset(
+                        other.execute_reformulation(candidate)
+                    ), f"{name}/{query.name}: disagreement on {candidate.name}"
+        sharded_executor.backend.close()
         sqlite_executor.close()
 
     def test_sqlite_matches_original_answers(self, name, configuration, queries):

@@ -1,4 +1,4 @@
-"""Randomized differential testing: memory vs. sqlite as mutual oracles.
+"""Randomized differential testing: every backend as every other's oracle.
 
 ``tests/test_backends.py`` checks cross-backend equivalence on the
 hand-picked reformulations of the paper workloads; here the same oracle is
@@ -8,6 +8,12 @@ tables of the medical and star configurations must return identical row
 sets — and identical row multisets under bag semantics — on both engines.
 Any divergence is a bug in the SQL rendering, the SQLite loading, or the
 hash-join evaluator; the seed in the test id reproduces it exactly.
+
+The ``sharded`` backend joins the matrix at 2 and 4 shards with mixed
+memory/sqlite children: the same random queries must survive routing
+(single-shard pruning, co-partitioned scatter, gather fallback) and the
+set/bag merge, and partition-key-bound queries must additionally be
+*pruned* — proven through the per-shard execution counters.
 """
 
 import pytest
@@ -17,6 +23,12 @@ from repro.workloads import medical, star
 from repro.workloads.star import StarParameters
 
 SEEDS = range(20)
+SHARD_SEEDS = range(10)
+#: shard count -> child engines, deliberately mixing the two real backends.
+SHARD_LAYOUTS = {
+    2: ("memory", "sqlite"),
+    4: ("memory", "sqlite", "sqlite", "memory"),
+}
 
 
 def multiset(rows):
@@ -90,3 +102,89 @@ def test_generator_is_deterministic(executor_pair, query_generator):
     first = query_generator(memory_executor.backend, 42).conjunctive("q")
     second = query_generator(memory_executor.backend, 42).conjunctive("q")
     assert str(first) == str(second)
+
+
+# ----------------------------------------------------------------------
+# Sharded backends (2 and 4 shards, mixed children) against memory
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", params=("medical", "star"))
+def sharded_oracles(request):
+    """A memory executor plus sharded executors at each layout."""
+    configuration = build_workload(request.param)
+    memory_executor = MarsExecutor(configuration, backend="memory")
+    sharded = {}
+    for shards, children in SHARD_LAYOUTS.items():
+        backend = configuration.create_backend(
+            "sharded", shards=shards, children=children
+        )
+        sharded[shards] = MarsExecutor(configuration, backend=backend)
+    yield memory_executor, sharded
+    for executor in sharded.values():
+        executor.backend.close()
+    memory_executor.close()
+
+
+@pytest.mark.parametrize("shards", sorted(SHARD_LAYOUTS))
+@pytest.mark.parametrize("seed", SHARD_SEEDS)
+def test_sharded_random_queries_agree(sharded_oracles, query_generator, shards, seed):
+    memory_executor, sharded = sharded_oracles
+    generator = query_generator(memory_executor.backend, seed + 3000)
+    backend = sharded[shards].backend
+    for index in range(4):
+        query = generator.conjunctive(f"sh{shards}_s{seed}_q{index}")
+        assert multiset(backend.execute(query)) == multiset(
+            memory_executor.backend.execute(query)
+        ), f"set divergence on shards={shards} seed={seed} query={query}"
+    query = generator.conjunctive(f"shbag{shards}_s{seed}")
+    assert multiset(backend.execute(query, distinct=False)) == multiset(
+        memory_executor.backend.execute(query, distinct=False)
+    ), f"bag divergence on shards={shards} seed={seed} query={query}"
+
+
+@pytest.mark.parametrize("shards", sorted(SHARD_LAYOUTS))
+@pytest.mark.parametrize("seed", SHARD_SEEDS)
+def test_sharded_unions_agree(sharded_oracles, query_generator, shards, seed):
+    memory_executor, sharded = sharded_oracles
+    generator = query_generator(memory_executor.backend, seed + 4000)
+    union = generator.union(f"shu{shards}_s{seed}")
+    backend = sharded[shards].backend
+    assert multiset(backend.execute_union(union)) == multiset(
+        memory_executor.backend.execute_union(union)
+    ), f"union divergence on shards={shards} seed={seed} union={union}"
+
+
+@pytest.mark.parametrize("shards", sorted(SHARD_LAYOUTS))
+@pytest.mark.parametrize("seed", SHARD_SEEDS)
+def test_sharded_key_bound_queries_prune_and_agree(
+    sharded_oracles, query_generator, shards, seed
+):
+    """Partition-key-bound queries agree AND execute on exactly one shard."""
+    memory_executor, sharded = sharded_oracles
+    backend = sharded[shards].backend
+    partitioned = [
+        name for name in backend.table_names if backend.partition_spec(name)
+    ]
+    assert partitioned, "workload declares no partitioned tables"
+    generator = query_generator(memory_executor.backend, seed + 5000)
+    rng = generator.rng
+    for index in range(3):
+        table = rng.choice(sorted(partitioned))
+        if memory_executor.backend.cardinality(table) == 0:
+            continue
+        spec = backend.partition_spec(table)
+        query = generator.key_bound_conjunctive(
+            f"kb{shards}_s{seed}_q{index}", table, spec.position
+        )
+        before = backend.stats()
+        rows = backend.execute(query)
+        after = backend.stats()
+        assert multiset(rows) == multiset(
+            memory_executor.backend.execute(query)
+        ), f"pruned divergence on shards={shards} seed={seed} query={query}"
+        assert after.router.single_shard - before.router.single_shard == 1
+        executed = sum(after.executions_per_shard) - sum(
+            before.executions_per_shard
+        )
+        assert executed == 1, (
+            f"key-bound query fanned out on shards={shards} seed={seed}: {query}"
+        )

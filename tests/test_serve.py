@@ -16,7 +16,12 @@ from repro.errors import ReformulationError, StorageError
 from repro.logical.atoms import RelationalAtom
 from repro.logical.queries import ConjunctiveQuery
 from repro.logical.terms import Constant, Variable
-from repro.serve import ConnectionPool, PlanCache, PublishingService
+from repro.serve import (
+    ConnectionPool,
+    PlanCache,
+    PoolExhaustedError,
+    PublishingService,
+)
 from repro.storage.backends import MemoryBackend, SQLiteBackend
 from repro.workloads import medical
 from repro.xbind.query import XBindQuery
@@ -172,17 +177,48 @@ class TestConnectionPool:
         template = self.build_template()
         pool = ConnectionPool(template, size=1)
         held = pool.acquire()
-        with pytest.raises(StorageError):
+        with pytest.raises(PoolExhaustedError) as excinfo:
             pool.acquire(timeout=0.05)
+        # admission control reports the pool state at rejection time
+        assert excinfo.value.stats.in_use == 1
+        assert excinfo.value.stats.size == 1
         pool.release(held)
         pool.close()
         template.close()
 
-    def test_closed_pool_rejects_acquire_and_closes_clones(self):
+    def test_full_wait_queue_rejects_immediately(self):
+        """max_waiters bounds the queue: excess acquires shed, not parked."""
+        template = self.build_template()
+        pool = ConnectionPool(template, size=1, max_waiters=1)
+        held = pool.acquire()
+        queued = threading.Thread(target=lambda: pool.acquire(timeout=5))
+        queued.start()
+        deadline = 50
+        while pool.stats().waiting < 1 and deadline:
+            deadline -= 1
+            threading.Event().wait(0.01)
+        assert pool.stats().waiting == 1
+        # the queue is full: this acquire must fail fast, without a timeout
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            pool.acquire(timeout=30)
+        assert excinfo.value.stats.waiting == 1
+        assert excinfo.value.stats.rejections == 1
+        pool.release(held)  # unblocks the queued thread
+        queued.join(timeout=10)
+        stats = pool.stats()
+        assert stats.rejections == 1 and stats.waiting == 0
+        pool.close(force=True)  # queued thread still holds its checkout
+        template.close()
+
+    def test_close_with_checkouts_fails_loudly(self):
         template = self.build_template()
         pool = ConnectionPool(template, size=2)
         checked_out = pool.acquire()
-        pool.close()
+        with pytest.raises(StorageError):
+            pool.close()
+        assert not pool.closed  # nothing was torn down
+        # forced teardown is the explicit escape hatch
+        pool.close(force=True)
         with pytest.raises(StorageError):
             pool.acquire()
         # the in-flight connection is closed when it comes back
@@ -490,6 +526,19 @@ class TestConcurrencyStress:
             assert stats.pool.created == 4
             assert stats.pool.checkouts == total
 
+    def test_loud_close_blocks_midflight_shutdown(self):
+        configuration = medical.build_configuration()
+        service = PublishingService(configuration, pool_size=2)
+        # the single pool, or any shard's pool on a sharded default backend
+        pool = service.pool if service.pool is not None else service.shard_pools[0]
+        connection = pool.acquire()
+        with pytest.raises(StorageError):
+            service.close()
+        assert not service.closed
+        pool.release(connection)
+        service.close()
+        assert service.closed
+
     def test_stress_on_memory_backend_for_symmetry(self):
         configuration = medical.build_configuration()
         configuration.backend = "memory"
@@ -511,3 +560,144 @@ class TestConcurrencyStress:
             for thread in threads:
                 thread.join(timeout=60)
             assert not errors
+
+
+# ----------------------------------------------------------------------
+# Plan-cache invalidation on configuration edits
+# ----------------------------------------------------------------------
+class TestCacheInvalidation:
+    def test_evict_where_drops_matching_keys(self):
+        cache = PlanCache(maxsize=8)
+        cache.put((1, "a"), "old")
+        cache.put((1, "b"), "old")
+        cache.put((2, "a"), "new")
+        dropped = cache.evict_where(lambda key: key[0] == 1)
+        assert dropped == 2
+        assert (2, "a") in cache and (1, "a") not in cache
+        assert cache.stats().invalidations == 2
+        # LRU capacity evictions are counted separately
+        assert cache.stats().evictions == 0
+
+    def test_configuration_edit_bumps_version(self):
+        configuration = medical.build_configuration()
+        before = configuration.version
+        configuration.add_relation("audit", ("who", "what"))
+        assert configuration.version == before + 1
+
+    def test_stale_plans_flushed_on_view_change(self):
+        """A configuration edit must recompile and flush dependent plans."""
+        from repro.workloads.medical import cache_view, CACHE_DOCUMENT
+
+        configuration = medical.build_configuration()
+        cache = PlanCache(maxsize=16)
+        system = MarsSystem(configuration, plan_cache=cache)
+        query = medical.client_query()
+        first = system.reformulate(query)
+        assert first.found and len(cache) == 1
+        stale_keys = cache.keys()
+        # Declare the redundant cache document mid-flight (a new LAV view):
+        # the reformulation search space changes, so the cached plan is stale.
+        view = cache_view()
+        configuration.add_xml_view(view, published=False)
+        configuration.add_proprietary_document(CACHE_DOCUMENT)
+        configuration.public_documents.pop(CACHE_DOCUMENT, None)
+        second = system.reformulate(query)
+        assert second.found
+        # old-version entries were evicted, the new plan is cached under
+        # the new version key
+        assert all(key not in cache for key in stale_keys)
+        assert cache.stats().invalidations >= 1
+        assert len(cache) == 1
+        # the recompiled system sees the new view: the cache document's
+        # relations are now legal reformulation targets
+        assert any("cache" in relation for relation in system.target_relations)
+
+    def test_cached_plans_survive_unrelated_lookups(self):
+        configuration = medical.build_configuration()
+        cache = PlanCache(maxsize=16)
+        system = MarsSystem(configuration, plan_cache=cache)
+        system.reformulate(medical.client_query())
+        hits_before = cache.stats().hits
+        system.reformulate(medical.client_query())
+        assert cache.stats().hits == hits_before + 1
+
+
+# ----------------------------------------------------------------------
+# PublishingService over the sharded backend (per-shard pools)
+# ----------------------------------------------------------------------
+class TestShardedService:
+    def build_service(self, **kwargs):
+        configuration = medical.build_configuration()
+        configuration.backend = "sharded"
+        configuration.shard_count = 3
+        configuration.shard_children = ("memory", "sqlite", "memory")
+        return PublishingService(configuration, **kwargs)
+
+    def test_publish_matches_direct_execution(self):
+        with self.build_service(pool_size=2) as service:
+            for query in (medical.client_query(), medical.drug_usage_query()):
+                rows = multiset(service.publish(query))
+                expected = multiset(service.executor.execute_original(query))
+                assert rows == expected
+
+    def test_per_shard_pools_and_stats(self):
+        with self.build_service(pool_size=2) as service:
+            assert service.pool is None
+            assert len(service.shard_pools) == 3
+            service.publish(medical.client_query())
+            stats = service.stats()
+            assert len(stats.shard_pools) == 3
+            assert stats.shard_pools[0].label == "shard-0"
+            assert stats.pool.label == "sharded(3)"
+            assert stats.pool.checkouts == sum(
+                pool.checkouts for pool in stats.shard_pools
+            )
+            assert stats.router is not None and stats.router.queries >= 1
+
+    def test_pruned_plan_checks_out_one_shard_only(self):
+        """A partition-key-bound plan occupies exactly one shard's pool."""
+        with self.build_service(pool_size=2) as service:
+            template = service.executor.backend
+            x = Variable("x")
+            plan = ConjunctiveQuery(
+                "pruned",
+                (x,),
+                (RelationalAtom("patientDiag", (Constant("ana"), x)),),
+            )
+            route = template.route_plan(plan)
+            assert [d.mode for _q, d in route.decisions] == ["single"]
+            target = route.needed_shards[0]
+            before = [pool.stats().checkouts for pool in service.shard_pools]
+            rows = service._run_plan(plan, distinct=True)
+            assert rows == [("flu",)]
+            after = [pool.stats().checkouts for pool in service.shard_pools]
+            deltas = [b - a for a, b in zip(before, after)]
+            assert sum(deltas) == 1 and deltas[target] == 1
+
+    def test_concurrent_sharded_publishing(self):
+        # pool_size=4 per shard: with 8 worker threads the bounded wait
+        # queue (2 * size waiters) admits everyone; smaller pools would
+        # correctly shed load with PoolExhaustedError instead.
+        with self.build_service(pool_size=4) as service:
+            queries = [medical.client_query(), medical.drug_usage_query()]
+            serial = {q.name: multiset(service.publish(q)) for q in queries}
+            errors = []
+
+            def worker():
+                try:
+                    for _ in range(ROUNDS):
+                        for query in queries:
+                            assert multiset(service.publish(query)) == serial[
+                                query.name
+                            ]
+                except Exception as error:
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors, f"workers raised: {errors!r}"
+            stats = service.stats()
+            assert stats.queries_served == len(queries) * (1 + THREADS * ROUNDS)

@@ -1,0 +1,623 @@
+"""The sharding subsystem: partitioners, router pruning, scatter/gather.
+
+The acceptance-critical test is
+``test_key_bound_query_executes_on_exactly_one_shard``: a query binding the
+partition key to a constant must be pruned to a single shard, proven
+through the backend's per-shard execution counters, not just the routing
+decision.
+"""
+
+import pytest
+
+from repro.core import MarsConfiguration, MarsExecutor
+from repro.errors import EvaluationError, SchemaError, StorageError
+from repro.logical.atoms import InequalityAtom, RelationalAtom
+from repro.logical.queries import ConjunctiveQuery, UnionQuery
+from repro.logical.terms import Constant, Variable
+from repro.shard import (
+    MODE_GATHER,
+    MODE_SCATTER,
+    MODE_SINGLE,
+    HashPartitioner,
+    RangePartitioner,
+    ScatterGatherExecutor,
+    ShardedBackend,
+    merge_rows,
+    stable_hash,
+)
+from repro.storage.backends import (
+    MemoryBackend,
+    SQLiteBackend,
+    available_backends,
+    create_backend,
+)
+from repro.workloads import medical
+
+
+def multiset(rows):
+    return sorted(map(repr, rows))
+
+
+# ----------------------------------------------------------------------
+# Partitioners
+# ----------------------------------------------------------------------
+class TestPartitioners:
+    def test_stable_hash_is_deterministic(self):
+        # CRC-32 of the repr: process- and run-independent, unlike str hash
+        assert stable_hash("ana") == stable_hash("ana")
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+
+    def test_hash_partitioner_covers_all_shards(self):
+        partitioner = HashPartitioner()
+        shards = {partitioner.shard_of(f"v{i}", 4) for i in range(200)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_hash_partitioners_are_co_partition_compatible(self):
+        assert HashPartitioner().compatible_with(HashPartitioner())
+        assert not HashPartitioner().compatible_with(RangePartitioner(("m",)))
+
+    def test_range_partitioner_boundaries(self):
+        partitioner = RangePartitioner(("g", "p"))
+        assert partitioner.shard_of("a", 3) == 0
+        assert partitioner.shard_of("g", 3) == 1  # boundary is exclusive upper
+        assert partitioner.shard_of("k", 3) == 1
+        assert partitioner.shard_of("z", 3) == 2
+        # more boundaries than shards: clamp to the last shard
+        assert RangePartitioner((1, 2, 3, 4)).shard_of(100, 2) == 1
+
+    def test_range_partitioner_rejects_unsorted(self):
+        with pytest.raises(StorageError):
+            RangePartitioner(("z", "a"))
+
+    def test_range_partitioner_incomparable_value(self):
+        with pytest.raises(StorageError):
+            RangePartitioner(("a", "b")).shard_of(3.5, 2)
+
+
+# ----------------------------------------------------------------------
+# Construction and the registry
+# ----------------------------------------------------------------------
+class TestShardedConstruction:
+    def test_registered_backend_name(self):
+        assert "sharded" in available_backends()
+        backend = create_backend("sharded", shards=3)
+        assert isinstance(backend, ShardedBackend)
+        assert backend.shard_count == 3
+        backend.close()
+
+    def test_mars_shards_environment_default(self, monkeypatch):
+        monkeypatch.setenv("MARS_SHARDS", "5")
+        backend = ShardedBackend()
+        assert backend.shard_count == 5
+        backend.close()
+        monkeypatch.setenv("MARS_SHARDS", "zero")
+        with pytest.raises(StorageError):
+            ShardedBackend()
+        monkeypatch.setenv("MARS_SHARDS", "0")
+        with pytest.raises(StorageError):
+            ShardedBackend()
+        monkeypatch.delenv("MARS_SHARDS")
+        backend = ShardedBackend()
+        assert backend.shard_count == 2
+        backend.close()
+
+    def test_mixed_children(self):
+        backend = ShardedBackend(children=("memory", "sqlite"))
+        assert isinstance(backend.children[0], MemoryBackend)
+        assert isinstance(backend.children[1], SQLiteBackend)
+        assert backend.shard_count == 2
+        backend.close()
+
+    def test_child_count_mismatch_rejected(self):
+        with pytest.raises(StorageError):
+            ShardedBackend(shards=3, children=("memory", "sqlite"))
+        with pytest.raises(StorageError):
+            ShardedBackend(children=())
+
+    def test_nested_sharding_rejected(self):
+        with pytest.raises(StorageError):
+            ShardedBackend(shards=2, children="sharded")
+
+    def test_configuration_threads_sharding_defaults(self):
+        configuration = MarsConfiguration("conf")
+        configuration.backend = "sharded"
+        configuration.shard_count = 3
+        configuration.shard_children = ("memory", "memory", "sqlite")
+        configuration.set_partition_key("r", "a")
+        backend = configuration.create_backend()
+        assert isinstance(backend, ShardedBackend)
+        assert backend.shard_count == 3
+        backend.create_table("r", 2, ("a", "b"))
+        spec = backend.partition_spec("r")
+        assert spec is not None and spec.column == "a" and spec.position == 0
+        backend.close()
+
+    def test_unknown_partition_column_rejected(self):
+        backend = ShardedBackend(shards=2, partition_keys={"r": "nope", "s": 7})
+        with pytest.raises(SchemaError):
+            backend.create_table("r", 2, ("a", "b"))
+        with pytest.raises(SchemaError):
+            backend.create_table("s", 2, ("a", "b"))
+        backend.close()
+
+
+def build_backend(shards=3, children="memory", **kwargs):
+    backend = ShardedBackend(
+        shards=shards,
+        children=children,
+        partition_keys={"orders": "customer", "customers": "name"},
+        **kwargs,
+    )
+    backend.create_table("orders", 3, ("customer", "item", "qty"))
+    backend.create_table("customers", 2, ("name", "city"))
+    backend.create_table("cities", 2, ("city", "country"))  # broadcast
+    customers = [(f"c{i}", f"city{i % 4}") for i in range(12)]
+    orders = [
+        (f"c{i % 12}", f"item{i % 5}", i % 7) for i in range(60)
+    ]
+    cities = [(f"city{i}", "xy") for i in range(4)]
+    backend.insert_many("customers", customers)
+    backend.insert_many("orders", orders)
+    backend.insert_many("cities", cities)
+    return backend, customers, orders, cities
+
+
+def memory_oracle(customers, orders, cities):
+    oracle = MemoryBackend()
+    oracle.create_table("orders", 3, ("customer", "item", "qty"))
+    oracle.create_table("customers", 2, ("name", "city"))
+    oracle.create_table("cities", 2, ("city", "country"))
+    oracle.insert_many("customers", customers)
+    oracle.insert_many("orders", orders)
+    oracle.insert_many("cities", cities)
+    return oracle
+
+
+# ----------------------------------------------------------------------
+# Data distribution
+# ----------------------------------------------------------------------
+class TestDataDistribution:
+    def test_partitioned_fragments_are_disjoint_and_complete(self):
+        backend, customers, orders, _cities = build_backend()
+        fragments = backend.fragment_cardinalities("orders")
+        assert sum(fragments) == len(orders)
+        assert all(count < len(orders) for count in fragments)
+        assert multiset(backend.rows("orders")) == multiset(orders)
+        assert backend.cardinality("orders") == len(orders)
+        backend.close()
+
+    def test_broadcast_tables_replicated_everywhere(self):
+        backend, _customers, _orders, cities = build_backend()
+        assert backend.fragment_cardinalities("cities") == (4, 4, 4)
+        # logical count is one copy, not shard_count copies
+        assert backend.cardinality("cities") == 4
+        assert backend.cardinalities()["cities"] == 4
+        backend.close()
+
+    def test_co_partitioned_rows_land_together(self):
+        backend, _customers, _orders, _cities = build_backend()
+        # customers.name and orders.customer use the same hash partitioner:
+        # every customer's orders live on the customer's own shard
+        for shard, child in enumerate(backend.children):
+            names = {row[0] for row in child.rows("customers")}
+            order_customers = {row[0] for row in child.rows("orders")}
+            assert order_customers <= names
+        backend.close()
+
+    def test_clear_and_arity_validation(self):
+        backend, *_ = build_backend()
+        with pytest.raises(EvaluationError):
+            backend.insert_many("orders", [("c1", "x")])
+        with pytest.raises(EvaluationError):
+            backend.rows("missing")
+        backend.clear_table("orders")
+        assert backend.cardinality("orders") == 0
+        assert backend.has_table("orders")
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Routing decisions
+# ----------------------------------------------------------------------
+class TestRouting:
+    def query_all_orders(self):
+        c, i, q = Variable("c"), Variable("i"), Variable("q")
+        return ConjunctiveQuery(
+            "all_orders", (c, i), (RelationalAtom("orders", (c, i, q)),)
+        )
+
+    def test_broadcast_only_routes_to_one_shard(self):
+        backend, *_ = build_backend()
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery("dims", (x, y), (RelationalAtom("cities", (x, y)),))
+        decision = backend.router.route(query)
+        assert decision.mode == MODE_SINGLE and len(decision.shards) == 1
+        # the round-robin rotation spreads broadcast-only load over shards
+        seen = {backend.router.route(query).shards[0] for _ in range(6)}
+        assert len(seen) > 1
+        backend.close()
+
+    def test_bound_key_routes_to_single_shard(self):
+        backend, *_ = build_backend()
+        i, q = Variable("i"), Variable("q")
+        query = ConjunctiveQuery(
+            "one_customer",
+            (i,),
+            (RelationalAtom("orders", (Constant("c3"), i, q)),),
+        )
+        decision = backend.router.route(query)
+        assert decision.mode == MODE_SINGLE
+        expected = HashPartitioner().shard_of("c3", backend.shard_count)
+        assert decision.shards == (expected,)
+        backend.close()
+
+    def test_equality_bound_key_is_recognized(self):
+        """x = 'c3' in the body binds the key after normalization."""
+        from repro.logical.atoms import EqualityAtom
+
+        backend, *_ = build_backend()
+        c, i, q = Variable("c"), Variable("i"), Variable("q")
+        query = ConjunctiveQuery(
+            "eq_bound",
+            (i,),
+            (
+                RelationalAtom("orders", (c, i, q)),
+                EqualityAtom(c, Constant("c3")),
+            ),
+        )
+        decision = backend.router.route(query)
+        assert decision.mode == MODE_SINGLE
+        backend.close()
+
+    def test_unbound_key_scatters(self):
+        backend, *_ = build_backend()
+        decision = backend.router.route(self.query_all_orders())
+        assert decision.mode == MODE_SCATTER
+        assert decision.shards == tuple(range(backend.shard_count))
+        backend.close()
+
+    def test_co_partitioned_join_scatters(self):
+        backend, *_ = build_backend()
+        c, i, q, city = (Variable("c"), Variable("i"), Variable("q"), Variable("t"))
+        query = ConjunctiveQuery(
+            "orders_with_city",
+            (c, i, city),
+            (
+                RelationalAtom("orders", (c, i, q)),
+                RelationalAtom("customers", (c, city)),
+            ),
+        )
+        decision = backend.router.route(query)
+        assert decision.mode == MODE_SCATTER
+        backend.close()
+
+    def test_non_key_join_gathers_with_pruned_fetch(self):
+        backend, *_ = build_backend()
+        c1, c2, city, i, q = (
+            Variable("c1"),
+            Variable("c2"),
+            Variable("city"),
+            Variable("i"),
+            Variable("q"),
+        )
+        # join customers on city (not the partition key) with one bound order
+        query = ConjunctiveQuery(
+            "same_city",
+            (c2,),
+            (
+                RelationalAtom("orders", (Constant("c3"), i, q)),
+                RelationalAtom("customers", (Constant("c3"), city)),
+                RelationalAtom("customers", (c2, city)),
+            ),
+        )
+        decision = backend.router.route(query)
+        assert decision.mode == MODE_GATHER
+        fetch = dict(decision.fetch_shards)
+        target = HashPartitioner().shard_of("c3", backend.shard_count)
+        # the orders fragment fetch is pruned to the bound key's shard;
+        # customers has an unbound atom, so every fragment is needed
+        assert fetch["orders"] == (target,)
+        assert fetch["customers"] == tuple(range(backend.shard_count))
+        backend.close()
+
+    def test_keys_bound_to_different_shards_gather(self):
+        backend, *_ = build_backend()
+        # find two customers on different shards
+        partitioner = HashPartitioner()
+        names = [f"c{i}" for i in range(12)]
+        by_shard = {}
+        for name in names:
+            by_shard.setdefault(partitioner.shard_of(name, 3), name)
+        assert len(by_shard) > 1
+        first, second = list(by_shard.values())[:2]
+        i1, i2, q1, q2 = (Variable(v) for v in ("i1", "i2", "q1", "q2"))
+        query = ConjunctiveQuery(
+            "two_customers",
+            (i1, i2),
+            (
+                RelationalAtom("orders", (Constant(first), i1, q1)),
+                RelationalAtom("orders", (Constant(second), i2, q2)),
+            ),
+        )
+        decision = backend.router.route(query)
+        assert decision.mode == MODE_GATHER
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Execution equivalence against the unsharded oracle
+# ----------------------------------------------------------------------
+CHILD_LAYOUTS = (
+    ("memory", "memory", "memory"),
+    ("memory", "sqlite", "memory"),
+)
+
+
+@pytest.mark.parametrize("children", CHILD_LAYOUTS, ids=("uniform", "mixed"))
+class TestExecutionEquivalence:
+    def queries(self):
+        c, c2, i, q, city = (
+            Variable("c"),
+            Variable("c2"),
+            Variable("i"),
+            Variable("q"),
+            Variable("city"),
+        )
+        yield ConjunctiveQuery(  # scatter: unbound partitioned scan
+            "scan", (c, i, q), (RelationalAtom("orders", (c, i, q)),)
+        )
+        yield ConjunctiveQuery(  # single shard: bound key
+            "point", (i, q), (RelationalAtom("orders", (Constant("c5"), i, q)),)
+        )
+        yield ConjunctiveQuery(  # scatter: co-partitioned join
+            "co",
+            (c, i, city),
+            (
+                RelationalAtom("orders", (c, i, q)),
+                RelationalAtom("customers", (c, city)),
+            ),
+        )
+        yield ConjunctiveQuery(  # gather: join through a non-key column
+            "via_city",
+            (c, c2),
+            (
+                RelationalAtom("customers", (c, city)),
+                RelationalAtom("customers", (c2, city)),
+                InequalityAtom(c, c2),
+            ),
+        )
+        yield ConjunctiveQuery(  # broadcast join
+            "geo",
+            (c, q),
+            (
+                RelationalAtom("customers", (c, city)),
+                RelationalAtom("cities", (city, q)),
+            ),
+        )
+
+    def test_all_modes_agree_with_oracle(self, children):
+        backend, customers, orders, cities = build_backend(children=children)
+        oracle = memory_oracle(customers, orders, cities)
+        for query in self.queries():
+            for distinct in (True, False):
+                expected = oracle.execute(query, distinct=distinct)
+                actual = backend.execute(query, distinct=distinct)
+                assert multiset(actual) == multiset(expected), (
+                    f"{query.name} diverged (distinct={distinct})"
+                )
+        backend.close()
+        oracle.close()
+
+    def test_unions_route_per_disjunct(self, children):
+        backend, customers, orders, cities = build_backend(children=children)
+        oracle = memory_oracle(customers, orders, cities)
+        i, q = Variable("i"), Variable("q")
+        disjuncts = tuple(
+            ConjunctiveQuery(
+                f"d{name}", (i,), (RelationalAtom("orders", (Constant(name), i, q)),)
+            )
+            for name in ("c1", "c2", "c5")
+        )
+        union = UnionQuery("u", disjuncts)
+        before = backend.stats()
+        assert multiset(backend.execute_union(union)) == multiset(
+            oracle.execute_union(union)
+        )
+        after = backend.stats()
+        # three bound disjuncts -> three single-shard executions, no scatter
+        assert after.router.single_shard - before.router.single_shard == 3
+        assert after.router.scatter == before.router.scatter
+        executed = sum(after.executions_per_shard) - sum(before.executions_per_shard)
+        assert executed == 3
+        backend.close()
+        oracle.close()
+
+
+# ----------------------------------------------------------------------
+# The acceptance criterion: provable single-shard execution
+# ----------------------------------------------------------------------
+class TestSingleShardPruning:
+    def test_key_bound_query_executes_on_exactly_one_shard(self):
+        backend, customers, orders, cities = build_backend(
+            children=("sqlite", "memory", "sqlite")
+        )
+        oracle = memory_oracle(customers, orders, cities)
+        i, q = Variable("i"), Variable("q")
+        query = ConjunctiveQuery(
+            "point", (i, q), (RelationalAtom("orders", (Constant("c7"), i, q)),)
+        )
+        target = HashPartitioner().shard_of("c7", backend.shard_count)
+        before = backend.stats()
+        rows = backend.execute(query)
+        after = backend.stats()
+        assert multiset(rows) == multiset(oracle.execute(query))
+        assert after.router.single_shard - before.router.single_shard == 1
+        deltas = [
+            now - then
+            for then, now in zip(
+                before.executions_per_shard, after.executions_per_shard
+            )
+        ]
+        assert sum(deltas) == 1, "query fanned out instead of being pruned"
+        assert deltas[target] == 1, "query ran on the wrong shard"
+        assert after.gather_fetches_per_shard == before.gather_fetches_per_shard
+        backend.close()
+        oracle.close()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle, clone, explain
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_close_is_loud_and_closes_children(self):
+        backend, *_ = build_backend(children=("memory", "sqlite", "memory"))
+        children = backend.children
+        backend.close()
+        assert backend.closed and all(child.closed for child in children)
+        with pytest.raises(StorageError):
+            backend.close()
+        with pytest.raises(StorageError):
+            backend.execute(
+                ConjunctiveQuery(
+                    "q", (Variable("x"),), (RelationalAtom("cities", (Variable("x"), Variable("y"))),)
+                )
+            )
+        with pytest.raises(StorageError):
+            backend.clone()
+
+    def test_clone_is_independent(self):
+        backend, customers, orders, cities = build_backend(
+            children=("memory", "sqlite", "memory")
+        )
+        clone = backend.clone()
+        c, i, q = Variable("c"), Variable("i"), Variable("q")
+        query = ConjunctiveQuery(
+            "scan", (c, i, q), (RelationalAtom("orders", (c, i, q)),)
+        )
+        assert multiset(clone.execute(query)) == multiset(backend.execute(query))
+        # clone counters start fresh and do not leak into the template
+        assert sum(clone.stats().executions_per_shard) == backend.shard_count
+        clone.close()
+        backend.execute(query)  # template still live
+        backend.close()
+
+    def test_explain_reports_routing(self):
+        backend, *_ = build_backend()
+        i, q = Variable("i"), Variable("q")
+        bound = ConjunctiveQuery(
+            "point", (i,), (RelationalAtom("orders", (Constant("c3"), i, q)),)
+        )
+        plan = backend.explain(bound)
+        assert "single-shard" in plan and "orders.customer" in plan
+        c = Variable("c")
+        scan = ConjunctiveQuery(
+            "scan", (c,), (RelationalAtom("orders", (c, i, q)),)
+        )
+        assert "scatter" in backend.explain(scan)
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Range partitioning end to end
+# ----------------------------------------------------------------------
+class TestRangePartitioning:
+    def test_range_partitioned_table_routes_and_agrees(self):
+        backend = ShardedBackend(
+            shards=3,
+            partition_keys={"events": "day"},
+            partitioners={"events": RangePartitioner((10, 20))},
+        )
+        backend.create_table("events", 2, ("day", "kind"))
+        rows = [(day, f"k{day % 3}") for day in range(30)]
+        backend.insert_many("events", rows)
+        assert backend.fragment_cardinalities("events") == (10, 10, 10)
+        k = Variable("k")
+        query = ConjunctiveQuery(
+            "day5", (k,), (RelationalAtom("events", (Constant(5), k)),)
+        )
+        decision = backend.router.route(query)
+        assert decision.mode == MODE_SINGLE and decision.shards == (0,)
+        assert backend.execute(query) == [("k2",)]
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# ScatterGatherExecutor and merge semantics
+# ----------------------------------------------------------------------
+class TestScatterGather:
+    def test_merge_semantics(self):
+        per_shard = [(0, [(1,), (2,)]), (1, [(2,), (3,)])]
+        assert merge_rows(per_shard, distinct=True) == [(1,), (2,), (3,)]
+        assert merge_rows(per_shard, distinct=False) == [(1,), (2,), (2,), (3,)]
+
+    def test_single_task_runs_inline(self):
+        import threading
+
+        executor = ScatterGatherExecutor(max_workers=2)
+        main = threading.get_ident()
+        assert executor.run([(0, threading.get_ident)]) == [(0, main)]
+        # multiple tasks fan out to worker threads
+        results = executor.run([(0, threading.get_ident), (1, threading.get_ident)])
+        assert {shard for shard, _ in results} == {0, 1}
+        executor.shutdown()
+
+    def test_errors_propagate(self):
+        executor = ScatterGatherExecutor(max_workers=2)
+
+        def boom():
+            raise EvaluationError("shard failure")
+
+        with pytest.raises(EvaluationError):
+            executor.run([(0, boom), (1, lambda: [])])
+        executor.shutdown()
+        with pytest.raises(ValueError):
+            ScatterGatherExecutor(max_workers=0)
+
+
+# ----------------------------------------------------------------------
+# The sharded backend under a full MARS workload (executor level)
+# ----------------------------------------------------------------------
+class TestShardedExecutor:
+    def test_medical_reformulations_agree(self):
+        from repro.core import MarsSystem
+
+        configuration = medical.build_configuration()
+        system = MarsSystem(configuration)
+        memory_executor = MarsExecutor(configuration, backend="memory")
+        sharded_executor = MarsExecutor(configuration, backend="sharded")
+        assert isinstance(sharded_executor.backend, ShardedBackend)
+        # the workload's partition hints reached the backend
+        assert sharded_executor.backend.partition_spec("patientDiag") is not None
+        for query in (medical.client_query(), medical.drug_usage_query()):
+            result = system.reformulate(query)
+            assert result.found
+            assert multiset(
+                sharded_executor.execute_reformulation(result.best)
+            ) == multiset(memory_executor.execute_reformulation(result.best))
+        sharded_executor.close()
+        memory_executor.close()
+
+
+# ----------------------------------------------------------------------
+# MemoryBackend.explain cardinality estimates (satellite)
+# ----------------------------------------------------------------------
+class TestMemoryExplainEstimates:
+    def test_estimates_per_join_step(self):
+        backend = MemoryBackend()
+        backend.create_table("r", 2, ("a", "b"))
+        backend.insert_many("r", [(i, i % 3) for i in range(12)])
+        backend.create_table("s", 2, ("b", "c"))
+        backend.insert_many("s", [(i % 3, i) for i in range(6)])
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        query = ConjunctiveQuery(
+            "q",
+            (x, z),
+            (RelationalAtom("r", (x, y)), RelationalAtom("s", (y, z))),
+        )
+        plan = backend.explain(query)
+        # step 1 scans r (12 rows); step 2 probes s on b (3 distinct values):
+        # 12 * 6 / 3 = 24 estimated rows
+        assert "est. 12.0 rows" in plan
+        assert "est. 24.0 rows" in plan
+        assert "estimated result: 24.0 rows" in plan
+        backend.close()

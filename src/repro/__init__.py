@@ -18,9 +18,12 @@ Public entry points
     reformulation problems as well.
 :class:`repro.serve.PublishingService`
     Thread-safe concurrent serving: plan cache + pooled backend connections.
+:class:`repro.cost.CostModel` / :class:`repro.cost.StatisticsCatalog`
+    Statistics-driven plan ranking and shard-routing cost comparisons.
 """
 
 from .core import MarsConfiguration, MarsExecutor, MarsReformulation, MarsSystem
+from .cost import CostModel, StatisticsCatalog
 from .errors import (
     ChaseError,
     CompilationError,
@@ -41,6 +44,7 @@ __all__ = [
     "ChaseError",
     "CompilationError",
     "ConnectionPool",
+    "CostModel",
     "EvaluationError",
     "MarsConfiguration",
     "MarsError",
@@ -55,6 +59,7 @@ __all__ = [
     "SchemaError",
     "ShardedBackend",
     "SpecializationError",
+    "StatisticsCatalog",
     "StorageError",
     "__version__",
 ]

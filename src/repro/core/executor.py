@@ -133,6 +133,12 @@ class MarsExecutor:
         # published data (they are LAV views of the public schema).
         for view in configuration.relational_views:
             self._materialize_relational_view(view)
+        # A sharded backend routes by modeled cost once statistics exist;
+        # collect them now that every table is loaded (the access weights
+        # keep pricing native-XML navigation above relational scans).
+        refresh = getattr(backend, "refresh_statistics", None)
+        if refresh is not None:
+            refresh(access_weights=configuration.build_statistics().access_weights)
 
     def _view_source_storage(self) -> MixedStorage:
         """Storage visible to view definitions: proprietary docs + relational data."""
@@ -206,6 +212,27 @@ class MarsExecutor:
         for name, count in self.backend.cardinalities().items():
             stats.cardinalities[name] = float(count)
         return stats
+
+    def collect_statistics(self):
+        """Measure a statistics catalog from the built backend, *now*.
+
+        The backend profiles its own tables (the SQLite backend via
+        ``ANALYZE``/``sqlite_stat1``, the sharded backend by merging its
+        children); the configuration's access weights are layered on top
+        so stored-XML relations keep costing more than relational scans.
+        Feed the result to :meth:`MarsSystem.attach_statistics` to plan
+        against the live data instead of the declarations — after bulk
+        loads this is the call that re-measures, and on a sharded backend
+        it also re-feeds the router's cost model in the same pass.
+        """
+        weights = self.configuration.build_statistics().access_weights
+        refresh = getattr(self.backend, "refresh_statistics", None)
+        if refresh is not None:
+            return refresh(access_weights=weights)
+        catalog = self.backend.collect_statistics()
+        for relation, weight in weights.items():
+            catalog.set_weight(relation, weight)
+        return catalog
 
     def close(self) -> None:
         """Release the backend's resources (e.g. the SQLite connection).

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..engine.cb import CBResult
 from ..logical.queries import ConjunctiveQuery
@@ -19,6 +19,12 @@ class MarsReformulation:
     obtained without backchase minimization; ``minimal`` lists every minimal
     reformulation found, which the paper's completeness theorem guarantees to
     be all of them for the supported fragment.
+
+    When the system ranks with a statistics-fed
+    :class:`~repro.cost.model.CostModel` (the default), ``cost_estimate``
+    carries the structured estimate of the chosen plan and
+    ``candidate_costs`` the ``(name, cost)`` of every ranked candidate,
+    cheapest first — both travel with the plan through the plan cache.
     """
 
     query: XBindQuery
@@ -34,6 +40,8 @@ class MarsReformulation:
     time_to_best: float
     chase_steps: int
     subqueries_inspected: int
+    cost_estimate: Optional[object] = None
+    candidate_costs: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def found(self) -> bool:

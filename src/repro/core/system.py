@@ -4,8 +4,11 @@
 into the C&B engine (paper Figure 3): it compiles client XBind queries over
 the public schema into conjunctive queries over GReX, chases them with the
 compiled schema correspondence, XICs, TIX and relational constraints, and
-backchases to find the minimal reformulations over the proprietary schema,
-ranked by the plug-in cost estimator.
+backchases to find the minimal reformulations over the proprietary schema.
+The finished candidates are ranked by the statistics-fed
+:class:`~repro.cost.model.CostModel` (declared statistics by default;
+:meth:`MarsSystem.attach_statistics` swaps in a catalog measured from a
+live backend), unless the caller injects its own estimator.
 """
 
 from __future__ import annotations
@@ -13,6 +16,8 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
+from ..cost.model import CostModel
+from ..cost.statistics import StatisticsCatalog
 from ..engine.cb import CBConfig, CBEngine
 from ..engine.cost import CostEstimator, SimpleCostEstimator
 from ..errors import ReformulationError
@@ -43,19 +48,41 @@ class MarsSystem:
         # skips compilation, chase and backchase entirely.  None (the
         # default) preserves uncached behaviour.
         self.plan_cache = plan_cache
-        # The default estimator must be cheap: the backchase estimates the cost
-        # of every candidate subquery.  The join-order-aware DP estimator can
-        # be plugged in explicitly for final plan ranking.  An injected
-        # estimator survives recompilation; the default one is rebuilt from
-        # fresh statistics when the configuration changes.
+        # Two estimators play different roles.  The *engine* estimator must
+        # be cheap AND monotone: the backchase estimates the cost of every
+        # candidate subquery and prunes supersets of expensive ones, which
+        # is only sound when adding atoms never lowers the estimate.  The
+        # *cost model* is the statistics-fed, join-order-aware model of
+        # repro.cost: not monotone, so it never steers the pruning — it
+        # re-ranks the finished minimal reformulations (and prices routing
+        # decisions elsewhere).  An injected estimator replaces both: it
+        # survives recompilation and suppresses the cost-model re-ranking,
+        # so a caller's estimator fully owns plan choice.
         self._estimator_injected = estimator is not None
-        self.estimator = estimator or SimpleCostEstimator(
-            configuration.build_statistics()
-        )
+        self._statistics_attached = False
+        if self._estimator_injected:
+            self.catalog: Optional[StatisticsCatalog] = None
+            self.cost_model: Optional[CostModel] = None
+            self.estimator = estimator
+        else:
+            self._rebuild_from_catalog(
+                StatisticsCatalog.from_configuration(configuration)
+            )
         # Compiled artifacts are derived once per configuration version and
         # reused across queries; _recompile() refreshes them (and flushes
         # stale cached plans) when the configuration is edited afterwards.
         self._compile_artifacts()
+
+    def _rebuild_from_catalog(self, catalog: StatisticsCatalog) -> None:
+        """Derive the ranking model and the engine estimator from *catalog*.
+
+        The single place both estimators are built, so every path
+        (construction, recompilation, attach) plans with a consistent
+        pair.  Never called on a system with an injected estimator.
+        """
+        self.catalog = catalog
+        self.cost_model = CostModel(catalog)
+        self.estimator = SimpleCostEstimator(catalog.to_table_statistics())
 
     def _compile_artifacts(self) -> None:
         """Derive (or re-derive) every compiled artifact of the configuration."""
@@ -81,13 +108,42 @@ class MarsSystem:
         this additionally evicts the dead entries so they stop occupying
         LRU slots.
         """
-        if not self._estimator_injected:
-            self.estimator = SimpleCostEstimator(self.configuration.build_statistics())
+        if not self._estimator_injected and not self._statistics_attached:
+            # Re-derive declared statistics; an attached (collected) catalog
+            # describes live instance data that a schema edit did not change,
+            # so it is kept until the owner re-attaches a fresh one.
+            self._rebuild_from_catalog(
+                StatisticsCatalog.from_configuration(self.configuration)
+            )
         self._compile_artifacts()
         current = self._compiled_version
         evict = getattr(self.plan_cache, "evict_where", None)
         if evict is not None:
             evict(lambda key: key[0] != current)
+
+    def attach_statistics(self, catalog: StatisticsCatalog) -> None:
+        """Plan against *catalog* (normally collected from a live backend).
+
+        Replaces the declared statistics the system was constructed with:
+        the engine estimator and the ranking cost model are rebuilt from
+        the catalog, and every cached plan is flushed — a plan chosen
+        under the old statistics may no longer be the cheapest.  A
+        :class:`~repro.serve.PublishingService` calls this at startup with
+        the catalog measured from its freshly built backend.  No-op effect
+        on systems constructed with an injected estimator would be
+        surprising, so that combination raises instead.
+        """
+        if self._estimator_injected:
+            raise ReformulationError(
+                "cannot attach statistics: this MarsSystem uses an injected "
+                "cost estimator that owns plan ranking"
+            )
+        self._rebuild_from_catalog(catalog)
+        self._statistics_attached = True
+        self._compile_artifacts()
+        evict = getattr(self.plan_cache, "evict_where", None)
+        if evict is not None:
+            evict(lambda key: True)
 
     # ------------------------------------------------------------------
     @property
@@ -114,6 +170,13 @@ class MarsSystem:
         When *minimize* is ``False`` only the initial reformulation is
         produced (the paper's "switch off the backchase" mode); the default
         follows the engine configuration.
+
+        With the default (non-injected) estimator, the minimal
+        reformulations are ranked by the statistics-fed
+        :class:`~repro.cost.model.CostModel`: ``best``/``best_cost`` come
+        from that ranking, ``cost_estimate`` carries the structured
+        estimate of the winner and ``candidate_costs`` the full priced
+        field, cheapest first.
 
         With a :attr:`plan_cache` attached, the finished
         :class:`MarsReformulation` is memoized on the configuration
@@ -152,10 +215,32 @@ class MarsSystem:
         result = engine.reformulate(
             compiled, self._dependencies, target_relations=self._target_relations
         )
+        best = result.best
+        best_cost = result.best_cost
+        cost_estimate = None
+        candidate_costs: tuple = ()
+        if self.cost_model is not None and best is not None:
+            # Final plan selection: rank every minimal reformulation with
+            # the statistics-fed cost model.  The engine's monotone
+            # estimator already guided the backchase pruning; this pass is
+            # where join selectivities and access weights pick the winner
+            # among the survivors (stable on ties, so the engine's order
+            # breaks them deterministically).
+            pool = list(result.minimal_reformulations) or [best]
+            ranked = self.cost_model.rank(pool)
+            cost_estimate, best = ranked[0]
+            best_cost = cost_estimate.total
+            candidate_costs = tuple(
+                (candidate.name, estimate.total) for estimate, candidate in ranked
+            )
         sql = None
-        if result.best is not None:
-            sql = render_sql(result.best, self.configuration.relational_schema)
+        if best is not None:
+            sql = render_sql(best, self.configuration.relational_schema)
         reformulation = MarsReformulation.from_cb_result(query, compiled, result, sql)
+        reformulation.best = best
+        reformulation.best_cost = best_cost
+        reformulation.cost_estimate = cost_estimate
+        reformulation.candidate_costs = candidate_costs
         if cache_key is not None:
             # Negative results are cached too: "no reformulation exists" is
             # just as expensive to recompute.

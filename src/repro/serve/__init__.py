@@ -1,9 +1,25 @@
 """Concurrent serving of MARS reformulations from pooled storage.
 
 The :class:`PublishingService` is the front door of a deployment: a
-thread-safe ``publish(query) -> rows`` API combining a plan cache (repeat
-queries skip the C&B engine), a connection pool (SQLite handles are not
-shareable across threads) and single-round-trip union execution.
+thread-safe ``publish(query) -> rows`` API combining
+
+* a :class:`PlanCache` — an LRU on the query's structural fingerprint
+  *and the configuration version*, so repeat queries skip the C&B engine
+  and plans computed under superseded views/constraints are flushed, not
+  served;
+* :class:`ConnectionPool`\\ s of backend clones with admission control
+  (a bounded ``max_waiters`` queue; rejected acquires raise
+  :class:`PoolExhaustedError` carrying the stats snapshot) — one pool per
+  shard on a sharded deployment, so a partition-key-bound query occupies
+  exactly one shard's connection;
+* single-round-trip union execution (``strategy="union"``) and
+  cost-based planning: at startup the service profiles the built backend
+  and attaches the statistics catalog to its
+  :class:`~repro.core.system.MarsSystem`.
+
+``stats()`` returns a :class:`ServiceStats` snapshot: served/computed
+counters, cache hit rates, per-shard pool breakdowns and the router's
+routing (and cost-comparison) outcomes.
 """
 
 from .cache import CacheStats, PlanCache

@@ -5,9 +5,13 @@ magnitude more expensive than executing the resulting plan on small
 instances.  A publishing site serves the *same* queries over and over
 (every page render poses the same XBind query with fresh variable names),
 so :class:`PlanCache` memoizes the finished
-:class:`~repro.core.reformulation.MarsReformulation` keyed on the query's
-structural :meth:`~repro.xbind.query.XBindQuery.fingerprint`.  A cache hit
-skips the C&B engine entirely.
+:class:`~repro.core.reformulation.MarsReformulation` — including its cost
+estimate and candidate ranking — keyed on the configuration *version*, the
+query's structural :meth:`~repro.xbind.query.XBindQuery.fingerprint` and
+the effective minimize mode.  A cache hit skips the C&B engine entirely;
+a configuration edit bumps the version, and ``MarsSystem`` flushes the
+stale entries through :meth:`PlanCache.evict_where` (as does attaching
+fresh statistics — a plan chosen under old numbers may no longer be best).
 """
 
 from __future__ import annotations

@@ -18,7 +18,12 @@ are thread-portable:
   be checked out by another.
 
 The pool never hands the same connection to two threads at once, so no
-backend-internal locking is needed.
+backend-internal locking is needed.  Admission control bounds the wait
+queue: at most ``max_waiters`` threads (default ``2 * size``) may park for
+a connection, and the next acquire fails fast with
+:class:`PoolExhaustedError` carrying the :class:`PoolStats` snapshot taken
+at rejection time.  Closing a pool with connections still checked out
+fails loudly; ``close(force=True)`` is the emergency teardown.
 """
 
 from __future__ import annotations

@@ -86,6 +86,7 @@ class PublishingService:
         strategy: str = STRATEGY_BEST,
         checkout_timeout: Optional[float] = 30.0,
         max_waiters: Optional[int] = None,
+        refresh_statistics: bool = True,
     ):
         if strategy not in (STRATEGY_BEST, STRATEGY_UNION):
             raise ValueError(f"unknown execution strategy {strategy!r}")
@@ -108,6 +109,24 @@ class PublishingService:
         # Build the instance data once, into the template backend the pools
         # will clone from.
         self.executor = MarsExecutor(configuration, backend=backend)
+        # Plan against measured statistics, not declarations: the built
+        # backend is profiled once (the executor has already fed a sharded
+        # router its cost model) and the system ranks reformulations with
+        # the same numbers.  Skipped when the caller owns plan ranking
+        # (refresh_statistics=False, or a system with an injected
+        # estimator).
+        if refresh_statistics and system.cost_model is not None:
+            try:
+                # A sharded backend was profiled moments ago, during the
+                # executor build; reuse that catalog instead of re-running
+                # the whole ANALYZE/COUNT(DISTINCT) sweep on every child.
+                catalog = getattr(self.executor.backend, "statistics_catalog", None)
+                if catalog is None:
+                    catalog = self.executor.collect_statistics()
+                system.attach_statistics(catalog)
+            except Exception:
+                self.executor.close()
+                raise
         size = pool_size if pool_size is not None else configuration.pool_size
         # Sharded deployments get one pool *per shard*: a partition-key
         # bound query then occupies a connection on exactly one shard,

@@ -8,10 +8,18 @@ deployments are first class):
   per-table :class:`PartitionSpec`; unlisted tables are broadcast;
 * :mod:`repro.shard.router` — prunes the shard set per query: bound
   partition keys execute on exactly one shard, co-partitioned joins
-  scatter, arbitrary cross-shard joins gather pruned fragments;
+  scatter, arbitrary cross-shard joins gather pruned fragments.  With a
+  cost model attached (``ShardedBackend.refresh_statistics()``) the
+  scatter-vs-gather choice is priced from collected statistics instead of
+  fixed rules, with chosen-vs-alternative estimates on every decision;
 * :mod:`repro.shard.executor` — the thread-pool fan-out and set/bag merge;
 * :mod:`repro.shard.backend` — :class:`ShardedBackend`, registered as
-  backend name ``"sharded"``.
+  backend name ``"sharded"``; merges child statistics catalogs and feeds
+  the router's cost model.
+
+Entry points: ``create_backend("sharded", shards=N, children=...,
+partition_keys={...})``, or ``MarsConfiguration.backend = "sharded"`` with
+``configuration.set_partition_key(table, column)``.
 """
 
 from .backend import ShardedBackend, ShardStats, default_shard_count

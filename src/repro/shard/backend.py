@@ -114,6 +114,7 @@ class ShardedBackend(StorageBackend):
         self._stats_lock = threading.Lock()
         self._executions = [0] * self.shard_count
         self._gather_fetches = [0] * self.shard_count
+        self._catalog = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -290,6 +291,87 @@ class ShardedBackend(StorageBackend):
         return tuple(child.cardinality(name) for child in self._children)
 
     # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def collect_statistics(self) -> "StatisticsCatalog":
+        """Merge the children's catalogs into one sharded-store catalog.
+
+        Partitioned tables sum their fragments: row counts add up, and so
+        do the distinct counts of the partition-key column (a key value
+        lives on exactly one shard); other columns' distinct counts overlap
+        across shards, so the merge takes the maximum (a lower bound) and
+        caps it at the merged row count.  Broadcast tables are complete on
+        every shard — one child's statistics describe them.  Every entry
+        records its per-shard ``fragment_rows``.
+        """
+        from ..cost.statistics import StatisticsCatalog, TableStatistics
+
+        self._require_open()
+        child_catalogs = [child.collect_statistics() for child in self._children]
+        catalog = StatisticsCatalog()
+        for name, arity in self._arities.items():
+            fragments = tuple(
+                float(child.row_count(name)) if name in child else 0.0
+                for child in child_catalogs
+            )
+            spec = self._specs.get(name)
+            if spec is None:
+                base = child_catalogs[0].table(name)
+                row_count = base.row_count if base is not None else 0.0
+                distinct = base.distinct_counts if base is not None else ()
+            else:
+                row_count = sum(fragments)
+                distinct = []
+                for position in range(arity):
+                    known = [
+                        child.distinct(name, position)
+                        for child in child_catalogs
+                        if child.distinct(name, position) is not None
+                    ]
+                    if not known:
+                        distinct.append(0.0)
+                    elif position == spec.position:
+                        distinct.append(min(row_count, sum(known)))
+                    else:
+                        distinct.append(min(row_count, max(known)))
+                distinct = tuple(distinct)
+            catalog.add(
+                TableStatistics(
+                    name=name,
+                    row_count=row_count,
+                    distinct_counts=tuple(distinct),
+                    fragment_rows=fragments,
+                )
+            )
+        return catalog
+
+    def refresh_statistics(
+        self, access_weights: Optional[Mapping[str, float]] = None
+    ) -> "StatisticsCatalog":
+        """Re-collect statistics and hand the router a fresh cost model.
+
+        Until this is called the router decides by its sound fixed rules;
+        afterwards it compares modeled costs for the decisions where more
+        than one mode is sound (scatter vs gather on co-partitioned
+        queries).  Call it again after bulk loads — statistics are a
+        snapshot, not a subscription.
+        """
+        from ..cost.model import CostModel
+
+        catalog = self.collect_statistics()
+        if access_weights:
+            for relation, weight in access_weights.items():
+                catalog.set_weight(relation, weight)
+        self._catalog = catalog
+        self.router.set_cost_model(CostModel(catalog))
+        return catalog
+
+    @property
+    def statistics_catalog(self):
+        """The catalog of the last :meth:`refresh_statistics` (or ``None``)."""
+        return self._catalog
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def route_plan(self, plan: Query) -> RoutePlan:
@@ -371,9 +453,15 @@ class ShardedBackend(StorageBackend):
         return scratch.execute(query, distinct=distinct)
 
     def explain(self, query: Query) -> str:
-        """The routing decisions plus the first target shard's own plan."""
+        """The routing decisions plus the first target shard's own plan.
+
+        With a cost model attached (:meth:`refresh_statistics`) each
+        decision also reports its estimated cost, and — where two modes
+        were sound — the rejected alternative's cost next to it (the
+        serving path skips those annotations; see ``ShardRouter.route``).
+        """
         self._require_open()
-        plan = self.route_plan(query)
+        plan = self.router.route_plan(query, annotate=True)
         lines = [
             f"sharded plan for {getattr(query, 'name', '<query>')} "
             f"({self.shard_count} shards):"
@@ -388,12 +476,16 @@ class ShardedBackend(StorageBackend):
                     f"  {disjunct.name}: gather at coordinator ({fetch}) "
                     f"[{decision.reason}]"
                 )
+                if decision.cost_summary():
+                    lines.append(f"    {decision.cost_summary()}")
                 continue
             mode = "single-shard" if decision.mode == MODE_SINGLE else "scatter"
             lines.append(
                 f"  {disjunct.name}: {mode} -> shards {list(decision.shards)} "
                 f"[{decision.reason}]"
             )
+            if decision.cost_summary():
+                lines.append(f"    {decision.cost_summary()}")
             child_plan = self._children[decision.shards[0]].explain(disjunct)
             lines.extend(
                 f"    [shard {decision.shards[0]}] {line}"
@@ -452,6 +544,10 @@ class ShardedBackend(StorageBackend):
         clone._attributes = dict(self._attributes)
         clone._specs = dict(self._specs)
         clone.router = ShardRouter(clone._specs, clone.shard_count)
+        # Clones inherit the template's cost model: pooled handles must
+        # route the way the template routes (fresh outcome counters).
+        clone.router.set_cost_model(self.router.cost_model)
+        clone._catalog = self._catalog
         clone._max_workers = self._max_workers
         clone._sg = ScatterGatherExecutor(clone._max_workers)
         clone._stats_lock = threading.Lock()

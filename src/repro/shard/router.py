@@ -32,6 +32,18 @@ union — each disjunct routes independently):
     there.  Always correct; the router still prunes the *fetch* — an atom
     that binds its key to a constant only needs that constant's shard, and
     broadcast tables are fetched from a single shard.
+
+Where exactly one mode is sound the rules above are the whole story.  But
+a co-partitioned query could also be *gathered* (gather is always
+correct), and scattering it is not always cheaper: scatter pays every
+broadcast table's scan once per shard, gather ships the partitioned
+fragments once and scans each broadcast table once.  With a
+:class:`~repro.cost.model.CostModel` attached (see
+``ShardedBackend.refresh_statistics``) the router prices both modes from
+collected statistics and picks the cheaper one, recording the chosen and
+rejected estimates on the :class:`RoutingDecision` (surfaced by
+``explain`` and counted in :class:`RouterStats`).  Without a model the
+fixed rules apply unchanged.
 """
 
 from __future__ import annotations
@@ -63,6 +75,25 @@ class RoutingDecision:
     #: ``gather`` only: ``(table, shards-to-fetch-the-fragment-from)`` pairs.
     fetch_shards: Tuple[Tuple[str, Tuple[int, ...]], ...]
     reason: str
+    #: Modeled cost of the chosen mode (``None`` without a cost model).
+    estimated_cost: Optional[float] = None
+    #: The sound-but-rejected mode and its modeled cost, when the decision
+    #: was a cost comparison (co-partitioned scatter vs gather).
+    alternative_mode: Optional[str] = None
+    alternative_cost: Optional[float] = None
+    #: Whether a cost comparison (not a fixed rule) picked the mode.
+    cost_based: bool = False
+
+    def cost_summary(self) -> str:
+        """One line of chosen-vs-alternative estimates; empty without a model."""
+        if self.estimated_cost is None:
+            return ""
+        summary = f"est. cost {self.estimated_cost:.1f} ({self.mode})"
+        if self.alternative_mode is not None:
+            summary += (
+                f" vs {self.alternative_cost:.1f} ({self.alternative_mode}, rejected)"
+            )
+        return summary
 
     @property
     def needed_shards(self) -> Tuple[int, ...]:
@@ -100,7 +131,10 @@ class RoutePlan:
                 )
                 + ")"
             )
-            lines.append(f"{query.name}: {decision.mode} -> {target} [{decision.reason}]")
+            line = f"{query.name}: {decision.mode} -> {target} [{decision.reason}]"
+            if decision.cost_summary():
+                line += f" {decision.cost_summary()}"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -112,6 +146,12 @@ class RouterStats:
     single_shard: int
     scatter: int
     gather: int
+    #: Decisions where two modes were sound and a cost comparison chose
+    #: (0 while no cost model is attached).
+    cost_based: int = 0
+    #: Cost-based decisions that overturned the rule-based default
+    #: (gather chosen where the fixed rules would scatter).
+    cost_overrides: int = 0
 
 
 class ShardRouter:
@@ -123,20 +163,51 @@ class ShardRouter:
     the layout, and the outcome counters take an internal lock.
     """
 
-    def __init__(self, specs: Mapping[str, PartitionSpec], shard_count: int):
+    def __init__(
+        self,
+        specs: Mapping[str, PartitionSpec],
+        shard_count: int,
+        cost_model: Optional[object] = None,
+    ):
         self._specs = specs
         self.shard_count = shard_count
+        self.cost_model = cost_model
         self._lock = threading.Lock()
         self._rotation = itertools.count()
         self._queries = 0
         self._single = 0
         self._scatter = 0
         self._gather = 0
+        self._cost_based = 0
+        self._cost_overrides = 0
+
+    def set_cost_model(self, cost_model: Optional[object]) -> None:
+        """Attach (or detach, with ``None``) the routing cost model.
+
+        The model prices the modes of one query
+        (``scatter_estimate``/``gather_estimate``/``single_shard_estimate``
+        of :class:`~repro.cost.model.CostModel`); decisions where only one
+        mode is sound are unaffected.
+        """
+        self.cost_model = cost_model
+
+    def _partitioned_positions(self) -> Dict[str, int]:
+        """``table -> partition-key position`` for the cost model's scaling."""
+        return {table: spec.position for table, spec in self._specs.items()}
 
     # ------------------------------------------------------------------
-    def route(self, query: ConjunctiveQuery) -> RoutingDecision:
-        """The execution mode and shard set for one conjunctive query."""
-        decision = self._decide(query)
+    def route(
+        self, query: ConjunctiveQuery, annotate: bool = False
+    ) -> RoutingDecision:
+        """The execution mode and shard set for one conjunctive query.
+
+        Cost estimates that *decide* (scatter vs gather on co-partitioned
+        queries) are always computed; estimates that merely *describe* a
+        rule-forced decision (single-shard, forced gather) are skipped on
+        the serving hot path and filled in only when *annotate* is set
+        (``explain`` sets it).
+        """
+        decision = self._decide(query, annotate)
         with self._lock:
             self._queries += 1
             if decision.mode == MODE_SINGLE:
@@ -145,9 +216,13 @@ class ShardRouter:
                 self._scatter += 1
             else:
                 self._gather += 1
+            if decision.cost_based:
+                self._cost_based += 1
+                if decision.mode == MODE_GATHER:
+                    self._cost_overrides += 1
         return decision
 
-    def route_plan(self, plan: Query) -> RoutePlan:
+    def route_plan(self, plan: Query, annotate: bool = False) -> RoutePlan:
         """Routing decisions for a conjunctive query or a whole union.
 
         Union disjuncts route independently, so a union whose disjuncts all
@@ -156,7 +231,9 @@ class ShardRouter:
         """
         disjuncts = plan if isinstance(plan, UnionQuery) else (plan,)
         return RoutePlan(
-            decisions=tuple((disjunct, self.route(disjunct)) for disjunct in disjuncts)
+            decisions=tuple(
+                (disjunct, self.route(disjunct, annotate)) for disjunct in disjuncts
+            )
         )
 
     def stats(self) -> RouterStats:
@@ -166,10 +243,14 @@ class ShardRouter:
                 single_shard=self._single,
                 scatter=self._scatter,
                 gather=self._gather,
+                cost_based=self._cost_based,
+                cost_overrides=self._cost_overrides,
             )
 
     # ------------------------------------------------------------------
-    def _decide(self, query: ConjunctiveQuery) -> RoutingDecision:
+    def _decide(
+        self, query: ConjunctiveQuery, annotate: bool = False
+    ) -> RoutingDecision:
         normalized = query.normalize_equalities()
         keyed: List[Tuple[PartitionSpec, Term]] = []
         for atom in normalized.relational_body:
@@ -191,6 +272,10 @@ class ShardRouter:
             }
             if len(targets) == 1:
                 spec, term = keyed[0]
+                # Single-shard pruning dominates every alternative (same
+                # plan, one engine, no fan-out), so it is never put up for
+                # a cost comparison — only annotated with its estimate,
+                # and only when the caller asked for annotations.
                 return RoutingDecision(
                     mode=MODE_SINGLE,
                     shards=(next(iter(targets)),),
@@ -199,11 +284,12 @@ class ShardRouter:
                         f"partition key bound: {spec.table}.{spec.column} "
                         f"= {term.value!r}"
                     ),
+                    estimated_cost=self._single_cost(normalized) if annotate else None,
                 )
             # Constants routing to different shards: each atom's rows live
             # wholly on its own shard, so no single shard sees them all.
             return self._gather_decision(
-                normalized, "partition keys bound to different shards"
+                normalized, "partition keys bound to different shards", annotate
             )
         key_terms = {term for _spec, term in keyed}
         partitioners = [spec.partitioner for spec, _term in keyed]
@@ -213,22 +299,73 @@ class ShardRouter:
         )
         if co_partitioned:
             term = next(iter(key_terms))
-            return RoutingDecision(
-                mode=MODE_SCATTER,
-                shards=tuple(range(self.shard_count)),
-                fetch_shards=(),
-                reason=(
-                    f"co-partitioned on {term}"
-                    if len(keyed) > 1
-                    else "one partitioned table, key unbound"
-                ),
+            reason = (
+                f"co-partitioned on {term}"
+                if len(keyed) > 1
+                else "one partitioned table, key unbound"
             )
+            if self.cost_model is None:
+                return RoutingDecision(
+                    mode=MODE_SCATTER,
+                    shards=tuple(range(self.shard_count)),
+                    fetch_shards=(),
+                    reason=reason,
+                )
+            return self._choose_scatter_or_gather(normalized, reason)
         return self._gather_decision(
-            normalized, "partitioned atoms keyed on different terms"
+            normalized, "partitioned atoms keyed on different terms", annotate
+        )
+
+    # -- cost comparison ------------------------------------------------
+    def _single_cost(self, normalized: ConjunctiveQuery) -> Optional[float]:
+        if self.cost_model is None:
+            return None
+        estimate = self.cost_model.single_shard_estimate(
+            normalized, self.shard_count, self._partitioned_positions()
+        )
+        return estimate.total
+
+    def _choose_scatter_or_gather(
+        self, normalized: ConjunctiveQuery, reason: str
+    ) -> RoutingDecision:
+        """Both modes are sound for a co-partitioned query: price them.
+
+        Scatter pays every broadcast scan once per shard; gather pays a
+        per-row transfer of the partitioned fragments plus one coordinator
+        evaluation.  The cheaper estimate wins; the loser's figure is kept
+        on the decision so ``explain`` can show why.
+        """
+        partitioned = self._partitioned_positions()
+        scatter = self.cost_model.scatter_estimate(
+            normalized, self.shard_count, partitioned
+        )
+        # The gather estimate decides here, so it is always computed.
+        gather_plan = self._gather_decision(normalized, reason, annotate=True)
+        gather_total = gather_plan.estimated_cost
+        if gather_total is not None and gather_total < scatter.total:
+            return RoutingDecision(
+                mode=MODE_GATHER,
+                shards=(),
+                fetch_shards=gather_plan.fetch_shards,
+                reason=f"{reason}; gather modeled cheaper than scatter",
+                estimated_cost=gather_total,
+                alternative_mode=MODE_SCATTER,
+                alternative_cost=scatter.total,
+                cost_based=True,
+            )
+        return RoutingDecision(
+            mode=MODE_SCATTER,
+            shards=tuple(range(self.shard_count)),
+            fetch_shards=(),
+            reason=f"{reason}; scatter modeled cheaper than gather",
+            estimated_cost=scatter.total,
+            alternative_mode=MODE_GATHER,
+            alternative_cost=gather_total,
+            cost_based=True,
         )
 
     def _gather_decision(
-        self, normalized: ConjunctiveQuery, reason: str
+        self, normalized: ConjunctiveQuery, reason: str, annotate: bool = False
     ) -> RoutingDecision:
         """Coordinator execution, fetching only the shard fragments needed."""
         # Broadcast tables are complete on every shard, so one copy is
@@ -261,6 +398,18 @@ class ShardRouter:
                     union.update(shard_set or ())
                 shards = tuple(sorted(union))
             fetch.append((table, shards))
+        estimated_cost = None
+        if annotate and self.cost_model is not None:
+            estimated_cost = self.cost_model.gather_estimate(
+                normalized,
+                tuple(fetch),
+                self.shard_count,
+                self._partitioned_positions(),
+            ).total
         return RoutingDecision(
-            mode=MODE_GATHER, shards=(), fetch_shards=tuple(fetch), reason=reason
+            mode=MODE_GATHER,
+            shards=(),
+            fetch_shards=tuple(fetch),
+            reason=reason,
+            estimated_cost=estimated_cost,
         )

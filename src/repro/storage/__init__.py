@@ -1,4 +1,24 @@
-"""Relational storage: in-memory engine, SQL rendering, pluggable backends."""
+"""Relational storage: in-memory engine, SQL rendering, pluggable backends.
+
+This package owns everything between a finished reformulation and its
+rows:
+
+* :mod:`repro.storage.relational_db` / :mod:`repro.storage.evaluation` —
+  the original in-memory tables and hash-join evaluator;
+* :mod:`repro.storage.sql` — display SQL (``render_sql``) and
+  parameterized executable SQL (``render_sql_query`` /
+  ``render_union_sql_query``) for real engines;
+* :mod:`repro.storage.backends` — the :class:`StorageBackend` protocol
+  and registry (``memory`` / ``sqlite`` / ``sharded``); backends load
+  tables, execute queries, ``explain`` themselves, ``clone()`` for
+  connection pooling and ``collect_statistics()`` for the cost model;
+* :mod:`repro.storage.statistics` — the legacy cardinality/weight record
+  consumed by the engine-internal estimators (the richer catalogs live in
+  :mod:`repro.cost`).
+
+Entry points: ``create_backend(spec)`` resolves a backend, and
+``MarsConfiguration.backend`` / ``MARS_BACKEND`` select the default.
+"""
 
 from .backends import (
     MemoryBackend,

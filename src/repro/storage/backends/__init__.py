@@ -6,6 +6,10 @@ the ``sharded`` backend partitions tables over N child backends (any mix of
 the other engines) with shard-pruning routing and scatter/gather execution.
 Select one with ``create_backend("sqlite")`` or via
 ``MarsConfiguration.backend`` / ``MarsExecutor(configuration, backend=...)``.
+
+Beyond loading and executing, every backend can ``explain`` how it would
+run a plan and measure a statistics catalog of its own data
+(``collect_statistics()``, consumed by :mod:`repro.cost`).
 """
 
 from .base import (

@@ -97,6 +97,22 @@ class StorageBackend(abc.ABC):
             return 0
         return len(self.rows(name))
 
+    def collect_statistics(self) -> "StatisticsCatalog":
+        """Measure a :class:`~repro.cost.statistics.StatisticsCatalog`.
+
+        The default profiles every table through :meth:`rows` — exact row
+        counts and per-column distinct counts.  Engines with native
+        statistics machinery override this (the SQLite backend reads
+        ``ANALYZE``'s ``sqlite_stat1``, the sharded backend merges its
+        children's catalogs).
+        """
+        from ...cost.statistics import StatisticsCatalog, profile_rows
+
+        catalog = StatisticsCatalog()
+        for name in self.table_names:
+            catalog.add(profile_rows(name, self.rows(name)))
+        return catalog
+
     # -- execution -----------------------------------------------------
     @abc.abstractmethod
     def execute(self, query: Query, distinct: bool = True) -> List[Row]:

@@ -19,7 +19,13 @@ from .base import Query, Row, StorageBackend
 
 
 class MemoryBackend(StorageBackend):
-    """Executes queries with the naive hash-join evaluator over Python lists."""
+    """Executes queries with the naive hash-join evaluator over Python lists.
+
+    Statistics (``collect_statistics``, inherited) profile the same lists
+    the hash-join evaluator scans, so cost estimates derived from a memory
+    backend describe exactly the data it will join; :meth:`explain` uses
+    the same distinct counts for its per-step cardinality estimates.
+    """
 
     backend_name = "memory"
 

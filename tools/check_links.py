@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the given files resolve.
+
+Usage:  python tools/check_links.py README.md docs/*.md
+
+For every ``[text](target)`` whose target is not an absolute URL or a
+pure in-page anchor, the target path (resolved against the containing
+file's directory, ``#fragment`` stripped) must exist.  Exits non-zero
+listing every broken link.  Stdlib only — this runs in the CI docs-lint
+leg next to ``python -m doctest`` over the same files.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:
+
+
+def broken_links(path: Path):
+    base = path.parent
+    for target in LINK.findall(path.read_text(encoding="utf-8")):
+        if EXTERNAL.match(target) or target.startswith("#"):
+            continue
+        resolved = base / target.split("#", 1)[0]
+        if not resolved.exists():
+            yield target
+
+
+def main(arguments) -> int:
+    if not arguments:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    status = 0
+    for name in arguments:
+        path = Path(name)
+        if not path.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            status = 1
+            continue
+        for target in broken_links(path):
+            print(f"{name}: broken link -> {target}", file=sys.stderr)
+            status = 1
+    if status == 0:
+        print(f"checked {len(arguments)} file(s): all relative links resolve")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,181 @@
+"""Replication benchmarks: read fan-out and the live-update speedup.
+
+Two effects of the replica subsystem are measured:
+
+* **Update-then-read vs. full rebuild** (the headline, asserted): before
+  the write path existed, refreshing data meant rebuilding the whole
+  executor — re-materializing GReX encodings and every redundant view
+  from the documents.  Now a ``ChangeSet`` applies through the mutation
+  log and the next publish replays the tail onto its pooled clone.  At
+  the top xmark scale the update-then-read path must be at least **5x**
+  faster than a rebuild-then-read.
+
+* **Replica read fan-out** (reported): T threads hammer point lookups on
+  a ``replicated`` backend at K = 1, 2, 3 over thread-portable SQLite
+  replicas.  ``sqlite3`` releases the GIL while stepping, so with more
+  replicas concurrent reads spread over independent connections instead
+  of serializing on one.  Hardware-dependent by nature, hence reported
+  rather than asserted.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import MarsExecutor
+from repro.logical.atoms import RelationalAtom
+from repro.logical.queries import ConjunctiveQuery
+from repro.logical.terms import Constant, Variable
+from repro.replica import ChangeSet, ReplicatedBackend
+from repro.serve import PublishingService
+from repro.storage.backends import SQLiteBackend
+from repro.workloads import xmark
+
+#: The top xmark scale of the backend benchmark sweep (scale factor 8).
+TOP_SCALE = 8
+
+
+def top_xmark_configuration(scale=TOP_SCALE):
+    parameters = xmark.XMarkParameters(
+        items_per_region=8 * scale,
+        people=15 * scale,
+        closed_auctions=20 * scale,
+    )
+    return xmark.build_configuration(parameters)
+
+
+class TestUpdateVsRebuild:
+    def test_update_then_read_beats_full_rebuild(self):
+        """The acceptance criterion: live update >= 5x faster than rebuild."""
+        configuration = top_xmark_configuration()
+        query = xmark.query_item_names()
+        service = PublishingService(configuration, pool_size=1)
+        try:
+            service.publish(query)  # warm the plan cache and the pool
+
+            # -- the old way: rebuild the executor, then read ----------
+            start = time.perf_counter()
+            rebuilt = MarsExecutor(configuration, backend="sqlite")
+            reformulation = service.reformulate(query)
+            rebuilt.execute_reformulation(reformulation.best)
+            rebuild_seconds = time.perf_counter() - start
+            rebuilt.close()
+
+            # -- the new way: apply a change set, then publish ---------
+            start = time.perf_counter()
+            service.update(
+                ChangeSet.build(
+                    inserts={"itemName": [("item_live_0", "fresh")]},
+                    deletes={"itemName": []},
+                )
+            )
+            rows = service.publish(query)
+            update_seconds = time.perf_counter() - start
+
+            assert ("item_live_0", "fresh") in {tuple(r) for r in rows}
+            speedup = rebuild_seconds / max(update_seconds, 1e-9)
+            print(
+                f"\nUpdate-then-read vs full rebuild (xmark scale {TOP_SCALE}):"
+                f"\n  rebuild + read: {rebuild_seconds * 1000:10.1f} ms"
+                f"\n  update + read:  {update_seconds * 1000:10.1f} ms"
+                f"\n  speedup:        {speedup:10.1f}x"
+            )
+            assert speedup >= 5.0, (
+                f"live update ({update_seconds * 1000:.1f} ms) is not 5x "
+                f"faster than a rebuild ({rebuild_seconds * 1000:.1f} ms)"
+            )
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# Replica read fan-out throughput (reported)
+# ----------------------------------------------------------------------
+def synthesize(scale=2, seed=13):
+    import random
+
+    rng = random.Random(seed)
+    item_ids = [f"item_{i}" for i in range(400 * scale)]
+    auctions = [
+        (rng.choice(item_ids), f"person_{rng.randrange(50 * scale)}", str(rng.randint(5, 500)))
+        for _ in range(8000 * scale)
+    ]
+    return auctions
+
+
+def point_query(item_id):
+    buyer, price = Variable("b"), Variable("p")
+    return ConjunctiveQuery(
+        "point",
+        (buyer, price),
+        (RelationalAtom("auctionPrice", (Constant(item_id), buyer, price)),),
+    )
+
+
+def replicated_sqlite(replicas, auctions):
+    children = [
+        SQLiteBackend(auto_index=False, check_same_thread=False)
+        for _ in range(replicas)
+    ]
+    backend = ReplicatedBackend(children=children)
+    backend.create_table("auctionPrice", 3, ("item_id", "buyer_id", "price"))
+    backend.insert_many("auctionPrice", auctions)
+    return backend
+
+
+def hammer(backend, queries, threads):
+    """Total seconds for *threads* workers to run the query list each."""
+    barrier = threading.Barrier(threads + 1)
+
+    def worker():
+        barrier.wait()
+        for query in queries:
+            backend.execute(query)
+
+    workers = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in workers:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in workers:
+        thread.join()
+    return time.perf_counter() - start
+
+
+class TestReplicaFanOut:
+    def test_report_read_throughput_as_replicas_grow(self, full_sweep):
+        scale = 4 if full_sweep else 2
+        threads = 4
+        auctions = synthesize(scale)
+        probes = [auctions[i * 97 % len(auctions)][0] for i in range(25)]
+        queries = [point_query(item_id) for item_id in probes]
+        print(
+            f"\nReplica read fan-out: {threads} threads x {len(queries)} "
+            f"point lookups ({len(auctions)} auctions, untuned sqlite)"
+        )
+        baseline = None
+        for replicas in (1, 2, 3):
+            backend = replicated_sqlite(replicas, auctions)
+            seconds = hammer(backend, queries, threads)
+            throughput = threads * len(queries) / seconds
+            stats = backend.stats()
+            assert sum(stats.reads_per_replica) == threads * len(queries)
+            if replicas > 1:
+                assert all(count > 0 for count in stats.reads_per_replica)
+            if baseline is None:
+                baseline = throughput
+            print(
+                f"  K={replicas}: {seconds * 1000:9.1f} ms "
+                f"({throughput:8.0f} reads/s, {throughput / baseline:5.2f}x, "
+                f"reads/replica {list(stats.reads_per_replica)})"
+            )
+            backend.close()
+
+    @pytest.mark.parametrize("replicas", (1, 3))
+    def test_point_lookup_benchmark(self, benchmark, replicas):
+        auctions = synthesize(1)
+        backend = replicated_sqlite(replicas, auctions)
+        query = point_query(auctions[len(auctions) // 2][0])
+        benchmark.pedantic(backend.execute, args=(query,), iterations=1, rounds=3)
+        backend.close()

@@ -67,6 +67,15 @@ class MarsConfiguration:
         self.shard_count: Optional[int] = None
         self.partition_keys: Dict[str, object] = {}
         self.shard_children: Optional[object] = None
+        # Replicated-backend defaults (used when backend == "replicated"):
+        # replica_count None defers to the MARS_REPLICAS environment
+        # variable; replica_child names the engine each replica runs
+        # ("memory", "sqlite", or "sharded" to replicate a whole sharded
+        # store built from the sharding declarations above);
+        # replica_selector picks the read-fan-out policy.
+        self.replica_count: Optional[int] = None
+        self.replica_child: Optional[object] = None
+        self.replica_selector: Optional[object] = None
         # Serving defaults used by repro.serve.PublishingService: how many
         # pooled connections to hand out and how many cached plans to keep.
         self.pool_size: int = 4
@@ -201,11 +210,37 @@ class MarsConfiguration:
         from ..storage.backends import create_backend
 
         spec = spec if spec is not None else self.backend
+        if spec in ("sharded", "replicated"):
+            # Composite backends build their own children thread-portable
+            # and do not take check_same_thread; dropping it here (instead
+            # of letting the constructor raise TypeError) matters because
+            # the replicated-over-sharded expansion below constructs real
+            # child stores — a raise-and-retry would leak them.
+            kwargs.pop("check_same_thread", None)
         if spec == "sharded":
             kwargs.setdefault("shards", self.shard_count)
             kwargs.setdefault("partition_keys", dict(self.partition_keys))
             if self.shard_children is not None:
                 kwargs.setdefault("children", self.shard_children)
+        elif spec == "replicated":
+            kwargs.setdefault("replicas", self.replica_count)
+            if self.replica_selector is not None:
+                kwargs.setdefault("selector", self.replica_selector)
+            if "children" not in kwargs:
+                child = kwargs.setdefault("child", self.replica_child)
+                if child == "sharded":
+                    # Each replica must be an independent sharded store
+                    # built from this configuration's sharding declarations
+                    # (partition keys, shard count), not a bare default —
+                    # so the instances are constructed here, recursively.
+                    from ..replica.backend import default_replica_count
+
+                    count = kwargs.get("replicas") or default_replica_count()
+                    kwargs.pop("child")
+                    kwargs["replicas"] = count
+                    kwargs["children"] = [
+                        self.create_backend("sharded") for _ in range(count)
+                    ]
         return create_backend(spec, **kwargs)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,47 @@
+"""Replication and live updates for the MARS proprietary storage.
+
+The read-only reproduction becomes an *updatable, redundant* one:
+
+* :mod:`~repro.replica.changeset` — :class:`ChangeSet` (per-relation
+  insert/delete batches every backend can ``apply``) and
+  :class:`MutationLog` (LSN-stamped history that pooled snapshot clones
+  replay to catch up, instead of forcing a service rebuild);
+* :mod:`~repro.replica.backend` — :class:`ReplicatedBackend` (backend
+  name ``replicated``): K replica engines, reads fanned out by a
+  pluggable :class:`ReplicaSelector` with failover on ``StorageError``,
+  writes applied to every live replica (failed writers are fenced);
+* :mod:`~repro.replica.rebalancer` — :class:`Rebalancer`: online shard
+  split/merge by fragment snapshot + mutation-log tail replay + atomic
+  partition-map swap (``ShardedBackend.adopt_layout``).
+
+``PublishingService`` wires all three into serving:
+``update(changeset)`` is the live write path with a read-your-writes LSN
+barrier in ``publish``, and ``rebalance(...)`` re-shards without stopping
+reads.
+"""
+
+from .backend import ReplicatedBackend, ReplicaStats, default_replica_count
+from .changeset import ChangeSet, LogEntry, MutationLog, TableChange
+from .rebalancer import RebalanceReport, Rebalancer
+from .selector import (
+    LeastLoadedSelector,
+    ReplicaSelector,
+    RoundRobinSelector,
+    create_selector,
+)
+
+__all__ = [
+    "ChangeSet",
+    "LeastLoadedSelector",
+    "LogEntry",
+    "MutationLog",
+    "RebalanceReport",
+    "Rebalancer",
+    "ReplicaSelector",
+    "ReplicaStats",
+    "ReplicatedBackend",
+    "RoundRobinSelector",
+    "TableChange",
+    "create_selector",
+    "default_replica_count",
+]

@@ -1,0 +1,283 @@
+"""Online shard rebalancing: split or merge a live sharded store.
+
+Changing the shard count used to mean rebuilding the whole deployment —
+rows are routed at insert time, so a layout change invalidates every
+fragment.  The :class:`Rebalancer` does it online, in the classic
+snapshot-plus-log-replay shape:
+
+1. **Stage** — build the new child engines and declare every table on
+   them (same partition specs, same partitioners, applied modulo the new
+   shard count; a staging :class:`~repro.shard.backend.ShardedBackend`
+   shell does the routing).
+2. **Copy** — snapshot each table's rows out of the live layout and route
+   them into the staging layout.  Each table's snapshot is taken under
+   the caller's *write pause* (a per-table pause, not one long outage)
+   and stamped with the mutation-log LSN at that instant.
+3. **Replay** — writes keep landing on the live layout during the copy;
+   the caller tees them into a :class:`~repro.replica.changeset.MutationLog`
+   and the rebalancer replays the tail into the staging layout, skipping
+   each table's entries at or below its snapshot LSN (those rows were
+   already copied).  Replay can run repeatedly as the tail grows.
+4. **Cutover** — under the caller's exclusive gate (no reads or writes in
+   flight) replay whatever tail remains and
+   :meth:`~repro.shard.backend.ShardedBackend.adopt_layout` the staging
+   children into the live backend — an atomic swap of the partition map
+   that bumps the backend's ``layout_version``.  The caller then closes
+   the old children, rebuilds per-shard pools and refreshes statistics
+   (which flushes cached plans priced under the old fragment sizes).
+
+:meth:`Rebalancer.run` drives all four phases for callers that can pass
+the pause/gate context managers (``PublishingService.rebalance`` does);
+the phase methods are public so tests can interleave writes precisely.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import StorageError
+from ..shard.backend import ChildSpec, ShardedBackend
+from ..storage.backends.base import StorageBackend
+from .changeset import ChangeSet, MutationLog
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one rebalance did, for logs and assertions."""
+
+    old_shard_count: int
+    new_shard_count: int
+    tables_copied: int
+    rows_copied: int
+    entries_replayed: int
+    layout_version: int
+    seconds: float
+
+
+class Rebalancer:
+    """Copies a live :class:`ShardedBackend` into a new shard layout.
+
+    *children* names the new layout: an explicit list of child specs, or
+    ``None`` with *shards* to build that many children of the same engine
+    mix as today's first child (strings/classes only; pass explicit specs
+    for anything fancier).
+    """
+
+    def __init__(
+        self,
+        backend: ShardedBackend,
+        shards: Optional[int] = None,
+        children: Optional[Sequence[ChildSpec]] = None,
+    ):
+        if not isinstance(backend, ShardedBackend):
+            raise StorageError(
+                "the rebalancer operates on a ShardedBackend "
+                f"(got {type(backend).__name__})"
+            )
+        if backend.closed:
+            raise StorageError("cannot rebalance a closed backend")
+        if children is None:
+            if shards is None or shards < 1:
+                raise StorageError(
+                    f"rebalance needs shards >= 1 or explicit children, got {shards}"
+                )
+            children = ["memory"] * shards
+        else:
+            children = list(children)
+            if shards is not None and shards != len(children):
+                raise StorageError(
+                    f"shards={shards} does not match the {len(children)} "
+                    "child specifications"
+                )
+        self.backend = backend
+        self._child_specs: List[ChildSpec] = list(children)
+        self._staging: Optional[ShardedBackend] = None
+        #: table -> log LSN its snapshot was taken at.
+        self._copy_lsn: Dict[str, int] = {}
+        self._replayed_upto = 0
+        self._rows_copied = 0
+        self._entries_replayed = 0
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def stage(self) -> None:
+        """Build the new children and declare every table on them."""
+        if self._staging is not None:
+            raise StorageError("rebalance already staged")
+        backend = self.backend
+        staging = ShardedBackend(
+            children=self._child_specs,
+            partition_keys=dict(backend._partition_keys),
+            partitioners=dict(backend._partitioners),
+        )
+        try:
+            for name in backend.table_names:
+                staging.create_table(
+                    name, backend._arities[name], backend._attributes[name]
+                )
+        except Exception:
+            staging.close()
+            raise
+        self._staging = staging
+
+    def copy_table(self, name: str, snapshot_lsn: int = 0) -> int:
+        """Route one table's current rows into the staging layout.
+
+        The caller materializes consistency: call this under the write
+        pause (or with writers quiesced) and pass the mutation log's LSN
+        at snapshot time, so :meth:`replay` can skip entries the copy
+        already contains.  Returns the number of rows copied.
+        """
+        staging = self._require_staged()
+        rows = [tuple(row) for row in self.backend.rows(name)]
+        self._copy_lsn[name] = snapshot_lsn
+        if rows:
+            staging.insert_many(name, rows)
+        self._rows_copied += len(rows)
+        return len(rows)
+
+    def copy_all(
+        self,
+        log: Optional[MutationLog] = None,
+        pause: Optional[Callable[[], object]] = None,
+    ) -> int:
+        """Copy every table, snapshotting each one under *pause*.
+
+        *pause* is a zero-argument callable returning a context manager
+        (typically the service's write lock); ``None`` means no writers
+        exist.  With *log* given, each table's snapshot LSN is read while
+        paused, so concurrent writes between table copies are replayed —
+        not lost and not double-applied.
+        """
+        copied = 0
+        for name in self.backend.table_names:
+            guard = pause() if pause is not None else nullcontext()
+            with guard:
+                lsn = log.lsn if log is not None else 0
+                # Materializing the snapshot happens under the pause; the
+                # (slower) routing+insert into staging happens after it.
+                rows = [tuple(row) for row in self.backend.rows(name)]
+            self._copy_lsn[name] = lsn
+            staging = self._require_staged()
+            if rows:
+                staging.insert_many(name, rows)
+            self._rows_copied += len(rows)
+            copied += len(rows)
+        return copied
+
+    def replay(self, log: MutationLog) -> int:
+        """Apply the log tail to the staging layout; returns entries replayed.
+
+        Per entry, only the table changes whose snapshot predates the
+        entry are applied (``entry.lsn > copy_lsn[table]``); a table
+        copied *after* the entry already contains its effect.  Call
+        repeatedly while writers are live, and once more under the
+        exclusive gate just before :meth:`cutover`.
+        """
+        staging = self._require_staged()
+        applied = 0
+        for entry in log.entries_since(self._replayed_upto):
+            wanted = [
+                change
+                for change in entry.changeset.changes
+                if entry.lsn > self._copy_lsn.get(change.relation, 0)
+            ]
+            if wanted:
+                staging.apply(ChangeSet(changes=tuple(wanted)))
+            self._replayed_upto = entry.lsn
+            applied += 1
+        self._entries_replayed += applied
+        return applied
+
+    def cutover(self) -> Tuple[StorageBackend, ...]:
+        """Swap the staging children into the live backend (see caller rules).
+
+        Must run with no reads or writes in flight.  Returns the old
+        children, still open — close them once nothing references them.
+        """
+        staging = self._require_staged()
+        if set(self._copy_lsn) != set(self.backend.table_names):
+            missing = set(self.backend.table_names) - set(self._copy_lsn)
+            raise StorageError(
+                f"cutover before copying tables: {sorted(missing)}"
+            )
+        children = staging.release_children()
+        self._staging = None
+        return self.backend.adopt_layout(children)
+
+    def abort(self) -> None:
+        """Drop the staging layout (nothing was swapped); idempotent."""
+        staging, self._staging = self._staging, None
+        if staging is not None and not staging.closed:
+            staging.close()
+
+    def _require_staged(self) -> ShardedBackend:
+        if self._staging is None:
+            raise StorageError("rebalance is not staged (call stage() first)")
+        return self._staging
+
+    # ------------------------------------------------------------------
+    # Progress accessors (for reports)
+    # ------------------------------------------------------------------
+    @property
+    def tables_copied(self) -> int:
+        return len(self._copy_lsn)
+
+    @property
+    def rows_copied(self) -> int:
+        return self._rows_copied
+
+    @property
+    def entries_replayed(self) -> int:
+        return self._entries_replayed
+
+    # ------------------------------------------------------------------
+    # One-call driver
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        log: Optional[MutationLog] = None,
+        pause: Optional[Callable[[], object]] = None,
+        exclusive: Optional[Callable[[], object]] = None,
+        close_old: bool = True,
+    ) -> RebalanceReport:
+        """Stage, copy, replay and cut over in one call.
+
+        *pause* briefly blocks writers during each table snapshot;
+        *exclusive* blocks reads **and** writes around the final replay +
+        swap (both are zero-argument callables returning context
+        managers; ``None`` means no concurrent traffic exists).  With
+        *close_old* the superseded children are closed after the swap.
+        """
+        start = time.perf_counter()
+        old_count = self.backend.shard_count
+        self.stage()
+        try:
+            self.copy_all(log=log, pause=pause)
+            if log is not None:
+                self.replay(log)
+            guard = exclusive() if exclusive is not None else nullcontext()
+            with guard:
+                if log is not None:
+                    self.replay(log)
+                old_children = self.cutover()
+        except Exception:
+            self.abort()
+            raise
+        if close_old:
+            for child in old_children:
+                if not child.closed:
+                    child.close()
+        return RebalanceReport(
+            old_shard_count=old_count,
+            new_shard_count=self.backend.shard_count,
+            tables_copied=len(self._copy_lsn),
+            rows_copied=self._rows_copied,
+            entries_replayed=self._entries_replayed,
+            layout_version=self.backend.layout_version,
+            seconds=time.perf_counter() - start,
+        )

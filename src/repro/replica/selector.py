@@ -1,0 +1,89 @@
+"""Replica selection policies: which copy answers a read.
+
+A :class:`ReplicaSelector` turns the replica count and a snapshot of the
+per-replica in-flight load into a *preference order*: the replicated
+backend tries the replicas in that order and fails over to the next one
+when a replica raises :class:`~repro.errors.StorageError` (killed engine,
+closed connection).  Two policies ship:
+
+* :class:`RoundRobinSelector` — rotate the starting replica per read, so
+  repeated reads spread evenly regardless of timing;
+* :class:`LeastLoadedSelector` — prefer the replica with the fewest reads
+  currently in flight (the live analogue of pool ``in_use`` stats), with
+  a rotating tie-break so idle replicas still alternate.
+
+Selectors are stateless apart from their rotation counter and are safe to
+share between threads.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import threading
+from typing import List, Sequence, Union
+
+from ..errors import StorageError
+
+
+class ReplicaSelector(abc.ABC):
+    """Orders the replicas a read should be attempted on."""
+
+    #: Registry name of the policy ("round_robin", "least_loaded").
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rotation = itertools.count()
+
+    def _next_offset(self, count: int) -> int:
+        with self._lock:
+            return next(self._rotation) % count
+
+    @abc.abstractmethod
+    def order(self, count: int, loads: Sequence[int]) -> List[int]:
+        """Replica indices in preference order (all of ``range(count)``)."""
+
+
+class RoundRobinSelector(ReplicaSelector):
+    """Start each read at the next replica in rotation."""
+
+    name = "round_robin"
+
+    def order(self, count: int, loads: Sequence[int]) -> List[int]:
+        offset = self._next_offset(count)
+        return [(offset + index) % count for index in range(count)]
+
+
+class LeastLoadedSelector(ReplicaSelector):
+    """Prefer the replica with the fewest in-flight reads right now."""
+
+    name = "least_loaded"
+
+    def order(self, count: int, loads: Sequence[int]) -> List[int]:
+        offset = self._next_offset(count)
+        return sorted(
+            range(count),
+            key=lambda index: (loads[index], (index - offset) % count),
+        )
+
+
+_SELECTORS = {
+    RoundRobinSelector.name: RoundRobinSelector,
+    LeastLoadedSelector.name: LeastLoadedSelector,
+}
+
+
+def create_selector(spec: Union[str, ReplicaSelector, None]) -> ReplicaSelector:
+    """Resolve a selector name (or pass an instance through)."""
+    if spec is None:
+        return RoundRobinSelector()
+    if isinstance(spec, ReplicaSelector):
+        return spec
+    try:
+        return _SELECTORS[spec]()
+    except KeyError as error:
+        raise StorageError(
+            f"unknown replica selector {spec!r}; "
+            f"available: {', '.join(sorted(_SELECTORS))}"
+        ) from error

@@ -15,11 +15,23 @@ thread-safe ``publish(query) -> rows`` API combining
 * single-round-trip union execution (``strategy="union"``) and
   cost-based planning: at startup the service profiles the built backend
   and attaches the statistics catalog to its
-  :class:`~repro.core.system.MarsSystem`.
+  :class:`~repro.core.system.MarsSystem`;
+* a live write path: ``update(changeset)`` applies a
+  :class:`~repro.replica.ChangeSet` to the template backend and appends
+  it to per-pool :class:`~repro.replica.MutationLog`\\ s, pooled snapshot
+  clones replay the tail at checkout/checkin, and ``publish`` enforces a
+  read-your-writes LSN barrier — plus adaptive statistics re-collection
+  when writes drift row counts past a threshold;
+* online rebalancing: ``rebalance(shards=...)`` splits/merges a sharded
+  deployment's shards under live traffic (fragment snapshot, mutation-log
+  tail replay, atomic partition-map swap, pool rebuild, plan-cache
+  flush).
 
 ``stats()`` returns a :class:`ServiceStats` snapshot: served/computed
-counters, cache hit rates, per-shard pool breakdowns and the router's
-routing (and cost-comparison) outcomes.
+counters, cache hit rates, per-shard pool breakdowns (including
+catch-up replay counts), the router's routing (and cost-comparison)
+outcomes, and the write-path counters (updates applied, last LSN,
+statistics refreshes, rebalances).
 """
 
 from .cache import CacheStats, PlanCache

@@ -10,12 +10,21 @@ connection keeps its thread affinity, so clone creation must not happen
 lazily on whichever serving thread first runs dry.  The clones themselves
 are thread-portable:
 
-* ``memory`` clones share the underlying tables (reads of Python lists are
-  thread-safe);
+* ``memory`` clones are independent snapshots of the tables;
 * ``sqlite`` clones are fresh connections — a second connection to the same
   file, or a backup-API snapshot for ``:memory:`` databases — created with
   ``check_same_thread=False`` so a connection built by one thread can later
   be checked out by another.
+
+Snapshot clones would go stale the moment the template accepts a write,
+so a pool built with a :class:`~repro.replica.changeset.MutationLog`
+tracks the LSN each clone has applied and **replays the log tail onto the
+clone at checkout and checkin** — updating the service no longer means
+rebuilding the pool, and a checkout never observes data older than the
+log head (the read-your-writes barrier ``publish`` relies on).  Backends
+whose clones share storage with the template (an on-disk SQLite file,
+``clone_is_snapshot == False``) skip replay: their writes are visible
+directly.
 
 The pool never hands the same connection to two threads at once, so no
 backend-internal locking is needed.  Admission control bounds the wait
@@ -23,7 +32,8 @@ queue: at most ``max_waiters`` threads (default ``2 * size``) may park for
 a connection, and the next acquire fails fast with
 :class:`PoolExhaustedError` carrying the :class:`PoolStats` snapshot taken
 at rejection time.  Closing a pool with connections still checked out
-fails loudly; ``close(force=True)`` is the emergency teardown.
+fails loudly; ``close(force=True)`` is the emergency teardown and closes
+the checked-out clones too (abandoned engine handles must not leak).
 """
 
 from __future__ import annotations
@@ -33,9 +43,10 @@ import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional
 
 from ..errors import StorageError
+from ..replica.changeset import MutationLog
 from ..storage.backends import StorageBackend
 
 
@@ -53,6 +64,10 @@ class PoolStats:
     waiting: int = 0
     #: Acquires rejected because the wait queue was already full.
     rejections: int = 0
+    #: Checkouts/checkins that replayed a mutation-log tail onto a clone.
+    catchups: int = 0
+    #: Total log entries replayed across those catch-ups.
+    entries_replayed: int = 0
     #: Identifies the pool in per-shard breakdowns (e.g. ``"shard-2"``).
     label: str = ""
 
@@ -90,6 +105,7 @@ class ConnectionPool:
         size: int = 4,
         max_waiters: Optional[int] = None,
         label: str = "",
+        mutation_log: Optional[MutationLog] = None,
     ):
         if size < 1:
             raise StorageError(f"connection pool needs size >= 1, got {size}")
@@ -101,6 +117,23 @@ class ConnectionPool:
         self.size = size
         self.max_waiters = max_waiters
         self.label = label
+        # With a mutation log attached, snapshot clones replay its tail at
+        # checkout/checkin; clones that share storage with the template
+        # (clone_is_snapshot False) see committed writes directly.  A
+        # template mixing both kinds of children could do neither — its
+        # snapshot clones would go stale without replay, while its shared
+        # clones would double-apply with it — so it is rejected up front.
+        if mutation_log is not None and getattr(
+            template, "has_mixed_snapshot_children", False
+        ):
+            raise StorageError(
+                "cannot attach a mutation log: the template backend mixes "
+                "snapshot-cloning and shared-storage children (e.g. a "
+                "file-backed SQLite child among memory children); use a "
+                "uniform child layout for live updates"
+            )
+        self.mutation_log = mutation_log
+        self._replay = mutation_log is not None and template.clone_is_snapshot
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._all: List[StorageBackend] = []
@@ -113,6 +146,12 @@ class ConnectionPool:
                 if not backend.closed:
                     backend.close()
             raise
+        # The clones were just taken from the live template, so they hold
+        # everything the log has seen up to now.
+        base_lsn = mutation_log.lsn if mutation_log is not None else 0
+        self._clone_lsn: Dict[int, int] = {
+            id(backend): base_lsn for backend in self._all
+        }
         self._idle: Deque[StorageBackend] = deque(self._all)
         self._in_use = 0
         self._checkouts = 0
@@ -120,11 +159,22 @@ class ConnectionPool:
         self._wait_count = 0
         self._waiting = 0
         self._rejections = 0
+        self._catchups = 0
+        self._entries_replayed = 0
         self._closed = False
 
     # ------------------------------------------------------------------
-    def acquire(self, timeout: Optional[float] = None) -> StorageBackend:
+    def acquire(
+        self, timeout: Optional[float] = None, min_lsn: Optional[int] = None
+    ) -> StorageBackend:
         """Check a connection out, queueing briefly while the pool is busy.
+
+        With a mutation log attached, the clone is caught up to the log
+        head before it is handed out, so the caller never reads data older
+        than the last committed write; *min_lsn* makes that read-your-
+        writes barrier explicit — the call fails with
+        :class:`StorageError` if the synced clone is still behind it
+        (which indicates a bug, not load).
 
         Raises :class:`StorageError` when the pool is closed, and
         :class:`PoolExhaustedError` — with the :class:`PoolStats` snapshot
@@ -173,10 +223,94 @@ class ConnectionPool:
             self._in_use += 1
             self._checkouts += 1
             self._peak_in_use = max(self._peak_in_use, self._in_use)
-            return backend
+        # Catch-up replay runs outside the pool lock: only this thread
+        # holds the clone, and other checkouts must not wait behind it.
+        try:
+            self._sync(backend)
+            if min_lsn is not None and self._replay:
+                applied = self._clone_lsn.get(id(backend), 0)
+                if applied < min_lsn:
+                    raise StorageError(
+                        f"read-your-writes barrier violated: connection at "
+                        f"LSN {applied}, needed {min_lsn}"
+                    )
+        except Exception:
+            self._discard(backend)
+            raise
+        return backend
+
+    def _sync(self, backend: StorageBackend) -> None:
+        """Replay the mutation-log tail this clone has not applied yet."""
+        if not self._replay:
+            return
+        log = self.mutation_log
+        applied = self._clone_lsn.get(id(backend), 0)
+        head = log.lsn
+        if applied >= head:
+            return
+        entries = log.entries_since(applied)
+        for entry in entries:
+            backend.apply(entry.changeset)
+            applied = entry.lsn
+        with self._lock:
+            self._clone_lsn[id(backend)] = applied
+            self._catchups += 1
+            self._entries_replayed += len(entries)
+
+    def _discard(self, backend: StorageBackend) -> None:
+        """Drop a clone whose state is no longer trustworthy (failed replay).
+
+        A replacement is cloned from the template (which always holds the
+        log head, so the fresh clone starts fully caught up).  If the
+        template cannot be cloned either and the last connection is gone,
+        the pool closes itself so subsequent acquires fail loudly instead
+        of parking until timeout on a pool that can never serve them.
+        """
+        replacement: Optional[StorageBackend] = None
+        try:
+            replacement = self.template.clone()
+        except Exception:
+            replacement = None
+        adopted = False
+        with self._available:
+            self._in_use -= 1
+            self._clone_lsn.pop(id(backend), None)
+            if backend in self._all:
+                self._all.remove(backend)
+            if replacement is not None and not self._closed:
+                self._all.append(replacement)
+                self._clone_lsn[id(replacement)] = (
+                    self.mutation_log.lsn if self.mutation_log is not None else 0
+                )
+                self._idle.append(replacement)
+                adopted = True
+            elif not self._all and not self._closed:
+                self._closed = True
+            self._available.notify()
+        if replacement is not None and not adopted and not replacement.closed:
+            replacement.close()
+        if not backend.closed:
+            backend.close()
+
+    def connection_lsn(self, backend: StorageBackend) -> int:
+        """The mutation-log LSN a checked-out connection has applied."""
+        with self._lock:
+            return self._clone_lsn.get(id(backend), 0)
 
     def release(self, backend: StorageBackend) -> None:
-        """Return a checked-out connection to the pool."""
+        """Return a checked-out connection to the pool.
+
+        With a mutation log attached, the clone is caught up on checkin
+        too (cheap when nothing was written), which both amortizes replay
+        work off the checkout path and lets the log compact entries every
+        clone has consumed.
+        """
+        if self._replay and not self._closed and not backend.closed:
+            try:
+                self._sync(backend)
+            except Exception:
+                self._discard(backend)
+                raise
         with self._available:
             self._in_use -= 1
             if self._closed:
@@ -185,11 +319,17 @@ class ConnectionPool:
                 return
             self._idle.append(backend)
             self._available.notify()
+        if self._replay:
+            with self._lock:
+                floor = min(self._clone_lsn.values(), default=0)
+            self.mutation_log.compact(floor)
 
     @contextmanager
-    def connection(self, timeout: Optional[float] = None) -> Iterator[StorageBackend]:
+    def connection(
+        self, timeout: Optional[float] = None, min_lsn: Optional[int] = None
+    ) -> Iterator[StorageBackend]:
         """``with pool.connection() as backend: ...`` checkout/checkin."""
-        backend = self.acquire(timeout=timeout)
+        backend = self.acquire(timeout=timeout, min_lsn=min_lsn)
         try:
             yield backend
         finally:
@@ -210,6 +350,8 @@ class ConnectionPool:
             wait_count=self._wait_count,
             waiting=self._waiting,
             rejections=self._rejections,
+            catchups=self._catchups,
+            entries_replayed=self._entries_replayed,
             label=self.label,
         )
 
@@ -223,10 +365,13 @@ class ConnectionPool:
         Closing while connections are still checked out is a bug in the
         caller's shutdown ordering and fails loudly with
         :class:`StorageError` (nothing is closed); pass ``force=True`` for
-        emergency teardown, in which case in-flight checkouts are closed
-        when they come back.  Idempotent once it succeeds (unlike backend
-        ``close``): a service shutting down must be able to run its
-        teardown twice.  The template backend is not touched.
+        emergency teardown, which closes the checked-out clones too —
+        abandoned checkouts must not leak engine handles (SQLite
+        connections), and a racing holder finds its connection dead
+        rather than the process finding a leak.  Idempotent once it
+        succeeds (unlike backend ``close``): a service shutting down must
+        be able to run its teardown twice.  The template backend is not
+        touched.
         """
         with self._available:
             if self._closed:
@@ -238,12 +383,16 @@ class ConnectionPool:
                     f"to abandon them) [{self._stats_locked()}]"
                 )
             self._closed = True
-            idle = list(self._idle)
+            # Forced teardown sweeps every clone ever created, including
+            # the checked-out ones; the clean path closes only the idle
+            # set (in_use == 0 implies they are the same).  Closing under
+            # the pool lock keeps a racing release() from double-closing.
+            doomed = list(self._all) if force else list(self._idle)
             self._idle.clear()
             self._available.notify_all()
-        for backend in idle:
-            if not backend.closed:
-                backend.close()
+            for backend in doomed:
+                if not backend.closed:
+                    backend.close()
 
     def __enter__(self) -> "ConnectionPool":
         return self

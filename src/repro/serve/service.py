@@ -21,8 +21,10 @@ reformulations as a single ``UNION`` round trip) and returns the rows.
 from __future__ import annotations
 
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.configuration import MarsConfiguration
 from ..core.executor import MarsExecutor
@@ -30,6 +32,7 @@ from ..core.reformulation import MarsReformulation
 from ..core.system import MarsSystem
 from ..errors import ReformulationError, StorageError
 from ..logical.queries import ConjunctiveQuery, UnionQuery
+from ..replica import ChangeSet, MutationLog, RebalanceReport, Rebalancer
 from ..shard import RouterStats, ShardedBackend
 from ..storage.backends import StorageBackend
 from ..xbind.query import XBindQuery
@@ -42,6 +45,53 @@ Row = Tuple[object, ...]
 STRATEGY_BEST = "best"
 #: Execute the union of every minimal reformulation in one round trip.
 STRATEGY_UNION = "union"
+
+
+class _PublishGate:
+    """A readers/writer gate: publishes and updates run concurrently
+    (readers), the rebalance cutover runs alone (writer).
+
+    Writer-preferring: once a cutover is waiting, new reader entries park
+    behind it, so a steady publish stream cannot starve the swap.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._turnstile = threading.Condition(self._lock)
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._turnstile:
+            while self._writer or self._writers_waiting:
+                self._turnstile.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._turnstile:
+                self._readers -= 1
+                if not self._readers:
+                    self._turnstile.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._turnstile:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._turnstile.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._turnstile:
+                self._writer = False
+                self._turnstile.notify_all()
 
 
 @dataclass(frozen=True)
@@ -63,6 +113,14 @@ class ServiceStats:
     pool: PoolStats
     shard_pools: Tuple[PoolStats, ...] = ()
     router: Optional[RouterStats] = None
+    #: Change sets applied through :meth:`PublishingService.update`.
+    updates_applied: int = 0
+    #: Highest mutation-log LSN a completed update reached.
+    last_write_lsn: int = 0
+    #: Statistics re-collections triggered by row-count drift.
+    statistics_refreshes: int = 0
+    #: Completed online rebalances (shard splits/merges).
+    rebalances: int = 0
 
 
 class PublishingService:
@@ -87,12 +145,26 @@ class PublishingService:
         checkout_timeout: Optional[float] = 30.0,
         max_waiters: Optional[int] = None,
         refresh_statistics: bool = True,
+        drift_threshold: Optional[float] = 0.2,
     ):
         if strategy not in (STRATEGY_BEST, STRATEGY_UNION):
             raise ValueError(f"unknown execution strategy {strategy!r}")
         self.configuration = configuration
         self.strategy = strategy
         self.checkout_timeout = checkout_timeout
+        self.drift_threshold = drift_threshold
+        # The template backend must be usable from whichever thread calls
+        # update() or rebalance(), so backends the service builds itself
+        # are created thread-portable (an injected instance is trusted to
+        # be whatever the caller needs, and stays the caller's to close).
+        self._template_owned = backend is None or isinstance(backend, (str, type))
+        if self._template_owned:
+            try:
+                backend = configuration.create_backend(
+                    backend, check_same_thread=False
+                )
+            except TypeError:
+                backend = configuration.create_backend(backend)
         if system is None:
             system = MarsSystem(configuration)
         if system.plan_cache is None:
@@ -125,7 +197,7 @@ class PublishingService:
                     catalog = self.executor.collect_statistics()
                 system.attach_statistics(catalog)
             except Exception:
-                self.executor.close()
+                self._close_template()
                 raise
         size = pool_size if pool_size is not None else configuration.pool_size
         # Sharded deployments get one pool *per shard*: a partition-key
@@ -133,31 +205,31 @@ class PublishingService:
         # instead of pinning a full set of per-shard clones per request.
         self.pool: Optional[ConnectionPool] = None
         self.shard_pools: Tuple[ConnectionPool, ...] = ()
+        # The write path: one mutation log per pool (per shard on a
+        # sharded deployment), replayed onto pooled snapshot clones at
+        # checkout/checkin instead of rebuilding the service after writes.
+        self.mutation_log: Optional[MutationLog] = None
+        self.shard_logs: Tuple[MutationLog, ...] = ()
+        self._pool_size = size
+        self._max_waiters = max_waiters
         template = self.executor.backend
         try:
             if isinstance(template, ShardedBackend):
-                pools = []
-                try:
-                    for index, child in enumerate(template.children):
-                        pools.append(
-                            ConnectionPool(
-                                child,
-                                size=size,
-                                max_waiters=max_waiters,
-                                label=f"shard-{index}",
-                            )
-                        )
-                except Exception:
-                    for pool in pools:
-                        pool.close(force=True)
-                    raise
-                self.shard_pools = tuple(pools)
+                self.shard_pools, self.shard_logs = self._build_shard_pools(
+                    template
+                )
             else:
-                self.pool = ConnectionPool(template, size=size, max_waiters=max_waiters)
+                self.mutation_log = MutationLog()
+                self.pool = ConnectionPool(
+                    template,
+                    size=size,
+                    max_waiters=max_waiters,
+                    mutation_log=self.mutation_log,
+                )
         except Exception:
             # Don't leak the template connection when pooling fails (bad
             # size, unclonable backend).
-            self.executor.close()
+            self._close_template()
             raise
         # The C&B engine mutates per-call state deep inside the chase; it is
         # correct but not reentrant, so reformulation is serialized.  Plan
@@ -166,7 +238,72 @@ class PublishingService:
         self._counter_lock = threading.Lock()
         self._queries_served = 0
         self._reformulations_computed = 0
+        # Write-path state: updates serialize behind one lock; publishes
+        # and updates pass the gate as readers, the rebalance cutover as
+        # the exclusive writer.
+        self._write_lock = threading.Lock()
+        self._gate = _PublishGate()
+        self._rebalance_lock = threading.Lock()
+        self._rebalance_log: Optional[MutationLog] = None
+        self._write_lsn = 0
+        self._updates_applied = 0
+        self._statistics_refreshes = 0
+        self._rebalances = 0
+        # Row-count drift accounting for the adaptive statistics trigger:
+        # rows touched per relation since the last collection, compared
+        # against the row counts that collection measured.
+        self._drift_rows: Dict[str, float] = {}
+        self._stats_rows: Dict[str, float] = {}
+        self._reset_drift_baseline()
         self._closed = False
+
+    def _build_shard_pools(
+        self, template: ShardedBackend
+    ) -> Tuple[Tuple[ConnectionPool, ...], Tuple[MutationLog, ...]]:
+        """One pool and one mutation log per shard of *template*."""
+        pools: List[ConnectionPool] = []
+        logs: List[MutationLog] = []
+        try:
+            for index, child in enumerate(template.children):
+                log = MutationLog()
+                pools.append(
+                    ConnectionPool(
+                        child,
+                        size=self._pool_size,
+                        max_waiters=self._max_waiters,
+                        label=f"shard-{index}",
+                        mutation_log=log,
+                    )
+                )
+                logs.append(log)
+        except Exception:
+            for pool in pools:
+                pool.close(force=True)
+            raise
+        return tuple(pools), tuple(logs)
+
+    def _close_template(self) -> None:
+        self.executor.close()
+        template = self.executor.backend
+        if self._template_owned and not template.closed:
+            template.close()
+
+    def _reset_drift_baseline(
+        self, catalog: Optional[object] = None
+    ) -> None:
+        """Remember the row counts the current statistics describe."""
+        if catalog is None:
+            catalog = getattr(self.system, "catalog", None)
+        rows: Dict[str, float] = {}
+        tables = getattr(catalog, "tables", None)
+        if tables:
+            for name, statistics in tables.items():
+                rows[name] = float(statistics.row_count)
+        else:
+            for name, count in self.executor.backend.cardinalities().items():
+                rows[name] = float(count)
+        self._stats_rows = rows
+        self._drift_rows = {}
 
     # ------------------------------------------------------------------
     # Reformulation (cache-aware, serialized)
@@ -241,7 +378,12 @@ class PublishingService:
         multi-shard publishes cannot deadlock against each other).
         """
         if self.pool is not None:
-            with self.pool.connection(timeout=self.checkout_timeout) as backend:
+            # The LSN barrier: the checked-out clone must have replayed at
+            # least every update this service has acknowledged, so a
+            # client that just wrote reads its own write.
+            with self.pool.connection(
+                timeout=self.checkout_timeout, min_lsn=self._write_lsn
+            ) as backend:
                 return self._execute_on(backend, plan, distinct)
         template = self.executor.backend
         route = template.route_plan(plan)
@@ -250,7 +392,8 @@ class PublishingService:
             children = {}
             for shard in route.needed_shards:
                 connection = self.shard_pools[shard].acquire(
-                    timeout=self.checkout_timeout
+                    timeout=self.checkout_timeout,
+                    min_lsn=self.shard_logs[shard].lsn,
                 )
                 acquired.append((shard, connection))
                 children[shard] = connection
@@ -269,8 +412,9 @@ class PublishingService:
         if self._closed:
             raise StorageError("PublishingService is closed")
         effective = self._check_strategy(strategy, distinct)
-        plan = self.plan_for(self.reformulate(query), strategy=effective)
-        rows = self._run_plan(plan, distinct)
+        with self._gate.read():
+            plan = self.plan_for(self.reformulate(query), strategy=effective)
+            rows = self._run_plan(plan, distinct)
         with self._counter_lock:
             self._queries_served += 1
         return rows
@@ -291,21 +435,181 @@ class PublishingService:
         if self._closed:
             raise StorageError("PublishingService is closed")
         effective = self._check_strategy(strategy, distinct)
-        plans = [
-            self.plan_for(self.reformulate(query), strategy=effective)
-            for query in queries
-        ]
         results: List[List[Row]] = []
-        if self.pool is not None:
-            with self.pool.connection(timeout=self.checkout_timeout) as backend:
+        with self._gate.read():
+            plans = [
+                self.plan_for(self.reformulate(query), strategy=effective)
+                for query in queries
+            ]
+            if self.pool is not None:
+                with self.pool.connection(
+                    timeout=self.checkout_timeout, min_lsn=self._write_lsn
+                ) as backend:
+                    for plan in plans:
+                        results.append(self._execute_on(backend, plan, distinct))
+            else:
                 for plan in plans:
-                    results.append(self._execute_on(backend, plan, distinct))
-        else:
-            for plan in plans:
-                results.append(self._run_plan(plan, distinct))
+                    results.append(self._run_plan(plan, distinct))
         with self._counter_lock:
             self._queries_served += len(queries)
         return results
+
+    # ------------------------------------------------------------------
+    # The write path
+    # ------------------------------------------------------------------
+    def update(self, changeset: ChangeSet) -> int:
+        """Apply *changeset* to the live deployment; returns its LSN.
+
+        The change set is applied to the template backend (routed per
+        shard on a sharded deployment, fanned to every replica on a
+        replicated one) and appended to the mutation log(s); pooled
+        snapshot clones replay the tail on their next checkout, and
+        :meth:`publish` enforces a read-your-writes LSN barrier, so a
+        subsequent publish observes this update without any rebuild.
+
+        Updates from different threads serialize behind one write lock.
+        When cumulative writes drift a relation's row count more than
+        ``drift_threshold`` (default 20%) past what the current statistics
+        describe, statistics are re-collected and attached — which also
+        flushes the plan cache — so cost-based routing keeps pricing the
+        data that is actually stored.
+        """
+        if self._closed:
+            raise StorageError("PublishingService is closed")
+        if changeset.is_empty():
+            return self._write_lsn
+        if self.pool is not None:
+            # One mutation log: the append is atomic, so concurrent
+            # publishes (fellow gate readers) see the whole change set or
+            # none of it when they sync to the log head.
+            with self._gate.read():
+                with self._write_lock:
+                    self.executor.backend.apply(changeset)
+                    lsn = self.mutation_log.append(changeset)
+                    refresh = self._finish_update(changeset, lsn)
+        else:
+            # Per-shard logs: a change set spanning shards would otherwise
+            # be observable half-applied (a publish syncs each shard's
+            # pool independently), so cross-shard visibility is made
+            # atomic by taking the gate exclusively — publishes drain,
+            # every shard applies and appends, publishes resume.
+            with self._gate.write():
+                with self._write_lock:
+                    template = self.executor.backend
+                    routed = template.route_changeset(changeset)
+                    for shard, sub in sorted(routed.items()):
+                        template.children[shard].apply(sub)
+                        self.shard_logs[shard].append(sub)
+                    lsn = self._write_lsn + 1
+                    refresh = self._finish_update(changeset, lsn)
+        if refresh:
+            # Outside the gate: collecting statistics sweeps every table
+            # and must not hold publishes (or a waiting rebalance) up.
+            self._refresh_statistics()
+        return lsn
+
+    def _finish_update(self, changeset: ChangeSet, lsn: int) -> bool:
+        """Shared bookkeeping under the write lock; returns the drift flag."""
+        if self._rebalance_log is not None:
+            # A rebalance is copying fragments right now: tee the change
+            # so the new layout replays it.
+            self._rebalance_log.append(changeset)
+        self._write_lsn = lsn
+        self._updates_applied += 1
+        return self._note_drift(changeset)
+
+    def _note_drift(self, changeset: ChangeSet) -> bool:
+        """Account the written rows; True when drift crosses the threshold."""
+        if self.drift_threshold is None or self.system.cost_model is None:
+            return False
+        triggered = False
+        for change in changeset.changes:
+            name = change.relation
+            self._drift_rows[name] = self._drift_rows.get(name, 0.0) + change.touched
+            baseline = max(1.0, self._stats_rows.get(name, 1.0))
+            if self._drift_rows[name] > self.drift_threshold * baseline:
+                triggered = True
+        return triggered
+
+    def _refresh_statistics(self) -> None:
+        """Re-collect statistics and re-rank plans (flushes the plan cache)."""
+        catalog = self.executor.collect_statistics()
+        with self._reformulate_lock:
+            self.system.attach_statistics(catalog)
+        self._reset_drift_baseline(catalog)
+        with self._counter_lock:
+            self._statistics_refreshes += 1
+
+    # ------------------------------------------------------------------
+    # Online rebalancing
+    # ------------------------------------------------------------------
+    def rebalance(
+        self,
+        shards: Optional[int] = None,
+        children: Optional[Sequence[object]] = None,
+    ) -> RebalanceReport:
+        """Split or merge the sharded deployment's shards, online.
+
+        Reads and writes keep flowing while the fragments are copied into
+        the new layout (each table's snapshot pauses writers only
+        briefly, and concurrent change sets are teed into a rebalance log
+        the copier replays); the final log tail and the partition-map
+        swap happen under an exclusive gate that drains in-flight
+        publishes.  After the cutover the per-shard pools and mutation
+        logs are rebuilt for the new layout and statistics are
+        re-collected — which flushes the plan cache, so no plan priced
+        under the old fragment sizes survives the new topology.
+        """
+        if self._closed:
+            raise StorageError("PublishingService is closed")
+        template = self.executor.backend
+        if not isinstance(template, ShardedBackend):
+            raise StorageError(
+                "rebalance requires a sharded deployment "
+                f"(template backend is {type(template).__name__})"
+            )
+        start = time.perf_counter()
+        with self._rebalance_lock:
+            tee = MutationLog()
+            rebalancer = Rebalancer(template, shards=shards, children=children)
+            with self._write_lock:
+                self._rebalance_log = tee
+            try:
+                rebalancer.stage()
+                rebalancer.copy_all(log=tee, pause=lambda: self._write_lock)
+                rebalancer.replay(tee)
+                with self._gate.write():
+                    with self._write_lock:
+                        rebalancer.replay(tee)
+                        old_children = rebalancer.cutover()
+                        self._rebalance_log = None
+                    old_pools = self.shard_pools
+                    self.shard_pools, self.shard_logs = self._build_shard_pools(
+                        template
+                    )
+                    for pool in old_pools:
+                        pool.close()
+            except Exception:
+                rebalancer.abort()
+                raise
+            finally:
+                with self._write_lock:
+                    self._rebalance_log = None
+            for child in old_children:
+                if not child.closed:
+                    child.close()
+            self._refresh_statistics()
+            with self._counter_lock:
+                self._rebalances += 1
+        return RebalanceReport(
+            old_shard_count=len(old_pools),
+            new_shard_count=template.shard_count,
+            tables_copied=rebalancer.tables_copied,
+            rows_copied=rebalancer.rows_copied,
+            entries_replayed=rebalancer.entries_replayed,
+            layout_version=template.layout_version,
+            seconds=time.perf_counter() - start,
+        )
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle
@@ -314,12 +618,20 @@ class PublishingService:
         with self._counter_lock:
             served = self._queries_served
             computed = self._reformulations_computed
+            updates = self._updates_applied
+            refreshes = self._statistics_refreshes
+            rebalances = self._rebalances
+        write_lsn = self._write_lsn
         if self.pool is not None:
             return ServiceStats(
                 queries_served=served,
                 reformulations_computed=computed,
                 cache=self.plan_cache.stats(),
                 pool=self.pool.stats(),
+                updates_applied=updates,
+                last_write_lsn=write_lsn,
+                statistics_refreshes=refreshes,
+                rebalances=rebalances,
             )
         per_shard = tuple(pool.stats() for pool in self.shard_pools)
         aggregate = PoolStats(
@@ -331,6 +643,8 @@ class PublishingService:
             wait_count=sum(stats.wait_count for stats in per_shard),
             waiting=sum(stats.waiting for stats in per_shard),
             rejections=sum(stats.rejections for stats in per_shard),
+            catchups=sum(stats.catchups for stats in per_shard),
+            entries_replayed=sum(stats.entries_replayed for stats in per_shard),
             label=f"sharded({len(per_shard)})",
         )
         return ServiceStats(
@@ -340,6 +654,10 @@ class PublishingService:
             pool=aggregate,
             shard_pools=per_shard,
             router=self.executor.backend.router.stats(),
+            updates_applied=updates,
+            last_write_lsn=write_lsn,
+            statistics_refreshes=refreshes,
+            rebalances=rebalances,
         )
 
     @property
@@ -373,7 +691,7 @@ class PublishingService:
         for pool in pools:
             pool.close(force=force)
         self._closed = True
-        self.executor.close()
+        self._close_template()
 
     def __enter__(self) -> "PublishingService":
         return self

@@ -53,6 +53,58 @@ DEFAULT_SHARD_COUNT = 2
 ChildSpec = Union[str, type, StorageBackend]
 
 
+def route_changeset(
+    changeset: "ChangeSet",
+    specs: Mapping[str, PartitionSpec],
+    shard_count: int,
+    require_table,
+) -> Dict[int, "ChangeSet"]:
+    """Split a change set across a shard layout (see ``ShardedBackend``).
+
+    Exposed as a function so the online rebalancer can route the mutation
+    log tail into a *new* layout before that layout is adopted by the live
+    backend.  *require_table* is called with each relation name and must
+    raise for unknown tables.
+    """
+    # Imported here: repro.replica imports this module for the rebalancer,
+    # so a top-level import would cycle during package initialization.
+    from ..replica.changeset import ChangeSet, TableChange
+
+    per_shard: Dict[int, Dict[str, Dict[str, List[Tuple[object, ...]]]]] = {}
+
+    def bucket(shard: int, relation: str) -> Dict[str, List[Tuple[object, ...]]]:
+        tables = per_shard.setdefault(shard, {})
+        return tables.setdefault(relation, {"ins": [], "del": []})
+
+    for change in changeset.changes:
+        require_table(change.relation)
+        spec = specs.get(change.relation)
+        if spec is None:
+            for shard in range(shard_count):
+                slot = bucket(shard, change.relation)
+                slot["ins"].extend(change.inserts)
+                slot["del"].extend(change.deletes)
+            continue
+        for row in change.inserts:
+            shard = spec.partitioner.shard_of(row[spec.position], shard_count)
+            bucket(shard, change.relation)["ins"].append(row)
+        for row in change.deletes:
+            shard = spec.partitioner.shard_of(row[spec.position], shard_count)
+            bucket(shard, change.relation)["del"].append(row)
+    routed: Dict[int, ChangeSet] = {}
+    for shard, tables in per_shard.items():
+        changes = tuple(
+            TableChange(
+                relation=relation,
+                inserts=tuple(slot["ins"]),
+                deletes=tuple(slot["del"]),
+            )
+            for relation, slot in tables.items()
+        )
+        routed[shard] = ChangeSet(changes=changes)
+    return routed
+
+
 def default_shard_count() -> int:
     """Shard count used when none is specified: ``MARS_SHARDS`` or 2."""
     raw = os.environ.get("MARS_SHARDS", "").strip()
@@ -115,6 +167,10 @@ class ShardedBackend(StorageBackend):
         self._executions = [0] * self.shard_count
         self._gather_fetches = [0] * self.shard_count
         self._catalog = None
+        #: Bumped by every :meth:`adopt_layout` (online rebalance cutover);
+        #: consumers holding per-layout state (per-shard pools, cached
+        #: statistics) key on it to notice a swap.
+        self.layout_version = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -249,6 +305,49 @@ class ShardedBackend(StorageBackend):
             buckets.setdefault(shard, []).append(row)
         for shard, bucket in buckets.items():
             self._children[shard].insert_many(name, bucket)
+
+    def delete_many(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Route deletes like inserts: by partition key, broadcast otherwise."""
+        self._require_table(name)
+        prepared = [tuple(row) for row in rows]
+        if not prepared:
+            return 0
+        spec = self._specs.get(name)
+        if spec is None:
+            # Broadcast tables hold the same rows everywhere: every child
+            # removes its own occurrence and they stay in lockstep.
+            return max(
+                child.delete_many(name, prepared) for child in self._children
+            )
+        buckets: Dict[int, List[Tuple[object, ...]]] = {}
+        for row in prepared:
+            shard = spec.partitioner.shard_of(row[spec.position], self.shard_count)
+            buckets.setdefault(shard, []).append(row)
+        return sum(
+            self._children[shard].delete_many(name, bucket)
+            for shard, bucket in buckets.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Write path (change sets)
+    # ------------------------------------------------------------------
+    def route_changeset(self, changeset: "ChangeSet") -> Dict[int, "ChangeSet"]:
+        """Split *changeset* into the per-shard change sets to apply.
+
+        Rows of partitioned tables go to the shard their partitioner
+        names; changes to broadcast tables appear in **every** shard's
+        change set (batched per shard, so a broadcast write is one
+        ``apply`` per shard, not one per row).  Shards untouched by the
+        change set are absent from the result.
+        """
+        return route_changeset(
+            changeset, self._specs, self.shard_count, self._require_table
+        )
+
+    def apply(self, changeset: "ChangeSet") -> None:
+        """Apply a change set by routing it to the owning shards."""
+        for shard, sub in sorted(self.route_changeset(changeset).items()):
+            self._children[shard].apply(sub)
 
     def _require_table(self, name: str) -> int:
         self._require_open()
@@ -405,6 +504,18 @@ class ShardedBackend(StorageBackend):
             children if children is not None else dict(enumerate(self._children))
         )
         is_union = isinstance(query, UnionQuery)
+        if (
+            is_union
+            and len(plan.decisions) > 1
+            and all(
+                decision.mode == MODE_GATHER for _q, decision in plan.decisions
+            )
+        ):
+            # Routed-union batching: every disjunct gathers, so the pruned
+            # fragments are fetched once into one shared scratch store and
+            # each disjunct evaluates there, instead of re-fetching a
+            # fragment per disjunct that mentions it.
+            return self._execute_gather_union(plan, distinct, engines)
         per_disjunct: List[List[Row]] = []
         for disjunct, decision in plan.decisions:
             if decision.mode == MODE_GATHER:
@@ -451,6 +562,51 @@ class ShardedBackend(StorageBackend):
             for fragment in fragments:
                 scratch.insert_many(table, fragment)
         return scratch.execute(query, distinct=distinct)
+
+    def _execute_gather_union(
+        self,
+        plan: RoutePlan,
+        distinct: bool,
+        engines: Mapping[int, StorageBackend],
+    ) -> List[Row]:
+        """Gather-only unions share one fragment-fetch pass across disjuncts.
+
+        Partitioned fragments named by several disjuncts are fetched once
+        (their shard sets are unioned — fragments are disjoint, so the
+        merge is exact); broadcast tables are complete on any shard, so
+        one copy is fetched even when different disjuncts' rotations named
+        different shards.  The saved fetch count is recorded on the
+        router's stats (``gather_unions_batched``/``fragment_fetches_saved``).
+        """
+        needed: Dict[str, set] = {}
+        per_disjunct_fetches = 0
+        for _disjunct, decision in plan.decisions:
+            for table, shards in decision.fetch_shards:
+                per_disjunct_fetches += len(shards)
+                if self._specs.get(table) is None:
+                    # One broadcast copy is enough; keep the first shard
+                    # any disjunct named.
+                    needed.setdefault(table, set(shards[:1]))
+                else:
+                    needed.setdefault(table, set()).update(shards)
+        scratch = MemoryBackend()
+        fetched = 0
+        for table in sorted(needed):
+            shards = sorted(needed[table])
+            arity = self._require_table(table)
+            scratch.create_table(table, arity, self._attributes[table])
+            for shard in shards:
+                scratch.insert_many(table, engines[shard].rows(table))
+            fetched += len(shards)
+            with self._stats_lock:
+                for shard in shards:
+                    self._gather_fetches[shard] += 1
+        self.router.note_union_batch(per_disjunct_fetches - fetched)
+        per_disjunct = [
+            (index, scratch.execute(disjunct, distinct=distinct))
+            for index, (disjunct, _decision) in enumerate(plan.decisions)
+        ]
+        return merge_rows(per_disjunct, distinct)
 
     def explain(self, query: Query) -> str:
         """The routing decisions plus the first target shard's own plan.
@@ -508,11 +664,97 @@ class ShardedBackend(StorageBackend):
         )
 
     # ------------------------------------------------------------------
+    # Online rebalancing hooks
+    # ------------------------------------------------------------------
+    def adopt_layout(
+        self, children: Sequence[StorageBackend]
+    ) -> Tuple[StorageBackend, ...]:
+        """Atomically swap in a new child set (the rebalance cutover).
+
+        The new children must already hold every table, repartitioned
+        under this backend's partition specs modulo ``len(children)`` —
+        the :class:`~repro.replica.rebalancer.Rebalancer` prepares them.
+        The router is rebuilt for the new shard count (same partition
+        specs, same cost model), per-shard counters reset, and
+        :attr:`layout_version` bumps.  The old children are returned still
+        open; the caller closes them once nothing references them.
+
+        Not safe under in-flight ``execute`` calls: the caller must gate
+        execution during the swap (``PublishingService.rebalance`` holds
+        its publish gate exclusively).
+        """
+        self._require_open()
+        new_children = list(children)
+        if not new_children:
+            raise StorageError("adopt_layout needs at least one child")
+        for child in new_children:
+            for name in self._arities:
+                if not child.has_table(name):
+                    raise StorageError(
+                        f"adopt_layout: new child is missing table {name!r}"
+                    )
+        old_children = tuple(self._children)
+        old_sg = self._sg
+        self._children = new_children
+        self.shard_count = len(new_children)
+        router = ShardRouter(self._specs, self.shard_count)
+        router.set_cost_model(self.router.cost_model)
+        self.router = router
+        self._max_workers = self.shard_count
+        self._sg = ScatterGatherExecutor(self._max_workers)
+        with self._stats_lock:
+            self._executions = [0] * self.shard_count
+            self._gather_fetches = [0] * self.shard_count
+        # Fragment statistics describe the old layout; drop them until the
+        # caller refreshes (refresh_statistics re-feeds the router too).
+        self._catalog = None
+        self.layout_version += 1
+        old_sg.shutdown()
+        return old_children
+
+    def release_children(self) -> Tuple[StorageBackend, ...]:
+        """Hand the children to the caller and retire this shell.
+
+        Used by the rebalancer: a staging ``ShardedBackend`` routes the
+        copied fragments and the replayed log tail into the new layout,
+        then releases its children for :meth:`adopt_layout` without
+        closing them.  The shell itself becomes unusable (closed).
+        """
+        self._require_open()
+        children = tuple(self._children)
+        self._children = []
+        self._closed = True
+        self._sg.shutdown()
+        return children
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def clone_is_snapshot(self) -> bool:
+        """A sharded clone snapshots iff every child clone does."""
+        return all(child.clone_is_snapshot for child in self._children)
+
+    @property
+    def has_mixed_snapshot_children(self) -> bool:
+        """Whether children disagree on clone snapshot semantics.
+
+        Mixed layouts (a file-backed SQLite child among snapshot
+        children) can neither skip log replay (the snapshot clones would
+        go stale) nor replay it (the shared-storage clones would apply
+        writes twice), so pools refuse to attach a mutation log to them.
+        """
+        kinds = {child.clone_is_snapshot for child in self._children}
+        if len(kinds) > 1:
+            return True
+        return any(
+            getattr(child, "has_mixed_snapshot_children", False)
+            for child in self._children
+        )
 
     def close(self) -> None:
         """Close every child and stop the fan-out pool; double close raises."""
@@ -553,5 +795,6 @@ class ShardedBackend(StorageBackend):
         clone._stats_lock = threading.Lock()
         clone._executions = [0] * clone.shard_count
         clone._gather_fetches = [0] * clone.shard_count
+        clone.layout_version = self.layout_version
         clone._closed = False
         return clone

@@ -152,6 +152,12 @@ class RouterStats:
     #: Cost-based decisions that overturned the rule-based default
     #: (gather chosen where the fixed rules would scatter).
     cost_overrides: int = 0
+    #: Unions whose disjuncts all gathered and were executed as one batch
+    #: over a shared scratch store (each pruned fragment fetched once).
+    gather_unions_batched: int = 0
+    #: Fragment fetches avoided by those batched gathers, relative to
+    #: fetching per disjunct.
+    fragment_fetches_saved: int = 0
 
 
 class ShardRouter:
@@ -180,6 +186,8 @@ class ShardRouter:
         self._gather = 0
         self._cost_based = 0
         self._cost_overrides = 0
+        self._union_batches = 0
+        self._fetches_saved = 0
 
     def set_cost_model(self, cost_model: Optional[object]) -> None:
         """Attach (or detach, with ``None``) the routing cost model.
@@ -236,6 +244,17 @@ class ShardRouter:
             )
         )
 
+    def note_union_batch(self, fetches_saved: int) -> None:
+        """Record that a gather-only union shared one fragment fetch pass.
+
+        Called by the sharded backend's batched union execution; the saved
+        count is the per-disjunct fetch total minus the fetches the shared
+        pass actually performed.
+        """
+        with self._lock:
+            self._union_batches += 1
+            self._fetches_saved += max(0, fetches_saved)
+
     def stats(self) -> RouterStats:
         with self._lock:
             return RouterStats(
@@ -245,6 +264,8 @@ class ShardRouter:
                 gather=self._gather,
                 cost_based=self._cost_based,
                 cost_overrides=self._cost_overrides,
+                gather_unions_batched=self._union_batches,
+                fragment_fetches_saved=self._fetches_saved,
             )
 
     # ------------------------------------------------------------------

@@ -27,16 +27,21 @@ from .sqlite import SQLiteBackend
 register_backend("memory", MemoryBackend)
 register_backend("sqlite", SQLiteBackend)
 
-# Imported after the registry exists: the sharded backend builds its child
-# engines through create_backend at runtime but only needs base.py at
-# import time, so there is no cycle.
+# Imported after the registry exists: the sharded and replicated backends
+# build their child engines through create_backend at runtime but only need
+# base.py at import time, so there is no cycle.
 from ...shard.backend import ShardedBackend  # noqa: E402
 
 register_backend("sharded", ShardedBackend)
 
+from ...replica.backend import ReplicatedBackend  # noqa: E402
+
+register_backend("replicated", ReplicatedBackend)
+
 __all__ = [
     "MemoryBackend",
     "Query",
+    "ReplicatedBackend",
     "Row",
     "SQLiteBackend",
     "ShardedBackend",

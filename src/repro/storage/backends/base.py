@@ -23,6 +23,7 @@ can flip engines with a single string (``backend="sqlite"``).
 from __future__ import annotations
 
 import abc
+import collections
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
@@ -76,6 +77,53 @@ class StorageBackend(abc.ABC):
 
     def insert(self, name: str, row: Sequence[object]) -> None:
         self.insert_many(name, [row])
+
+    def delete_many(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Remove stored rows under bag semantics; returns how many went.
+
+        Each requested row removes **at most one** stored occurrence (a
+        table is an ordered multiset), and rows not present are ignored,
+        so every engine agrees on multiplicities after a delete.  The
+        default rewrites the table through :meth:`rows` /
+        :meth:`clear_table` / :meth:`insert_many`; engines with targeted
+        deletes override it (SQLite deletes by rowid).
+        """
+        pending = collections.Counter(tuple(row) for row in rows)
+        if not pending:
+            return 0
+        kept: List[Row] = []
+        removed = 0
+        for row in self.rows(name):
+            row = tuple(row)
+            if pending.get(row, 0) > 0:
+                pending[row] -= 1
+                removed += 1
+            else:
+                kept.append(row)
+        if removed:
+            self.clear_table(name)
+            if kept:
+                self.insert_many(name, kept)
+        return removed
+
+    def apply(self, changeset: "ChangeSet") -> None:
+        """Apply one :class:`~repro.replica.changeset.ChangeSet`.
+
+        Per table change the deletes run before the inserts (an update is
+        a delete plus an insert of the same row).  The default applies
+        change-by-change with no atomicity guarantee beyond the individual
+        operations; transactional engines override it (the SQLite backend
+        wraps the whole change set in one transaction).
+        """
+        for change in changeset.changes:
+            if not self.has_table(change.relation):
+                raise EvaluationError(
+                    f"change set references unknown table {change.relation!r}"
+                )
+            if change.deletes:
+                self.delete_many(change.relation, change.deletes)
+            if change.inserts:
+                self.insert_many(change.relation, change.inserts)
 
     # -- inspection ----------------------------------------------------
     @property
@@ -151,6 +199,21 @@ class StorageBackend(abc.ABC):
 
     def close(self) -> None:
         """Release engine resources; the default implementation is a no-op."""
+
+    @property
+    def clone_is_snapshot(self) -> bool:
+        """Whether :meth:`clone` produces a point-in-time *snapshot*.
+
+        ``True`` means a clone stops seeing later writes to the original
+        (memory clones copy the tables, ``:memory:`` SQLite clones are
+        backup-API snapshots) and must catch up by replaying a
+        :class:`~repro.replica.changeset.MutationLog` tail; ``False``
+        means clones share the stored data (a second connection to the
+        same on-disk SQLite file) and see committed writes directly.  The
+        connection pool uses this to decide whether pooled clones need
+        log-replay catch-up at checkout.
+        """
+        return False
 
     def clone(self) -> "StorageBackend":
         """A new backend over the same stored data, usable from another thread.

@@ -48,6 +48,9 @@ class MemoryBackend(StorageBackend):
     def insert_many(self, name: str, rows: Iterable[Sequence[object]]) -> None:
         self.database.insert_many(name, rows)
 
+    def delete_many(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        return self.database.delete_many(name, rows)
+
     # -- inspection ----------------------------------------------------
     @property
     def table_names(self) -> Tuple[str, ...]:
@@ -83,16 +86,21 @@ class MemoryBackend(StorageBackend):
             raise StorageError("MemoryBackend.close() called twice")
         self._closed = True
 
-    def clone(self) -> "MemoryBackend":
-        """A second handle on the *same* tables.
+    @property
+    def clone_is_snapshot(self) -> bool:
+        return True
 
-        Reading Python lists is safe across threads, so pooled memory
-        backends simply share the underlying
-        :class:`~repro.storage.relational_db.InMemoryDatabase`.
+    def clone(self) -> "MemoryBackend":
+        """An independent snapshot of the tables, usable from any thread.
+
+        Clones used to share the underlying tables; with a live write path
+        they copy them instead, so pooled memory clones have the same
+        point-in-time semantics as ``:memory:`` SQLite snapshots and catch
+        up through the same mutation-log replay.
         """
         if self._closed:
             raise StorageError("cannot clone a closed MemoryBackend")
-        return MemoryBackend(self.database)
+        return MemoryBackend(self.database.copy())
 
     def _distinct_count(self, relation: str, position: int) -> int:
         """Distinct values in one column of the stored data (>= 1)."""

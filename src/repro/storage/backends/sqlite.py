@@ -13,13 +13,27 @@ from __future__ import annotations
 
 import re
 import sqlite3
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ...errors import EvaluationError, SchemaError, StorageError
 from ...logical.queries import ConjunctiveQuery, UnionQuery
 from ...logical.terms import Variable, is_variable
 from ..sql import SQLQuery, quote_identifier, render_sql_query, render_union_sql_query
 from .base import Query, Row, StorageBackend
+
+
+def _uses_connection(method):
+    """Run *method* inside the backend's in-flight guard (see ``_use``)."""
+    import functools
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._use():
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 class _BackendSchema:
@@ -71,6 +85,15 @@ class SQLiteBackend(StorageBackend):
         self._indexed: Set[Tuple[str, str]] = set()
         self.auto_index = auto_index
         self._closed = False
+        # Concurrency-safe teardown: operations touching the connection
+        # register in-flight under this lock, and close() defers releasing
+        # the sqlite3 connection until the last one exits — freeing a
+        # connection another thread is stepping is a segfault, not an
+        # exception (the replicated backend kills/fences replicas while
+        # readers may be mid-query).
+        self._state_lock = threading.Lock()
+        self._inflight = 0
+        self._connection_released = False
         self._adopt_existing_tables()
 
     def _require_open(self) -> None:
@@ -79,6 +102,28 @@ class SQLiteBackend(StorageBackend):
                 "SQLiteBackend has been closed; create a new backend "
                 "(or check a connection out of a pool) instead of reusing it"
             )
+
+    @contextmanager
+    def _use(self) -> Iterator[None]:
+        """Register one connection-touching operation (see close())."""
+        with self._state_lock:
+            self._require_open()
+            self._inflight += 1
+        release = False
+        try:
+            yield
+        finally:
+            with self._state_lock:
+                self._inflight -= 1
+                if (
+                    self._closed
+                    and self._inflight == 0
+                    and not self._connection_released
+                ):
+                    self._connection_released = True
+                    release = True
+            if release:
+                self._connection.close()
 
     def _adopt_existing_tables(self) -> None:
         """Register tables already present in an on-disk database file."""
@@ -95,6 +140,7 @@ class SQLiteBackend(StorageBackend):
             self._attributes[name] = columns
 
     # -- schema and data loading ---------------------------------------
+    @_uses_connection
     def create_table(
         self, name: str, arity: int, attributes: Optional[Sequence[str]] = None
     ) -> None:
@@ -116,11 +162,14 @@ class SQLiteBackend(StorageBackend):
     def has_table(self, name: str) -> bool:
         return name in self._arities
 
+    @_uses_connection
     def clear_table(self, name: str) -> None:
         self._require_table(name)
         self._connection.execute(f"DELETE FROM {quote_identifier(name)}")
 
-    def insert_many(self, name: str, rows: Iterable[Sequence[object]]) -> None:
+    def _prepare_rows(
+        self, name: str, rows: Iterable[Sequence[object]]
+    ) -> List[Tuple[object, ...]]:
         arity = self._require_table(name)
         prepared: List[Tuple[object, ...]] = []
         for row in rows:
@@ -130,19 +179,94 @@ class SQLiteBackend(StorageBackend):
                     f"table {name}: expected {arity} values, got {len(row)}"
                 )
             prepared.append(row)
-        if not prepared:
-            return
-        placeholders = ", ".join("?" for _ in range(arity))
+        return prepared
+
+    def _insert_prepared(self, name: str, prepared: List[Tuple[object, ...]]) -> None:
+        """Run the INSERT statements without committing (callers own that)."""
+        placeholders = ", ".join("?" for _ in self._attributes[name])
         try:
             self._connection.executemany(
                 f"INSERT INTO {quote_identifier(name)} VALUES ({placeholders})",
                 prepared,
             )
-        except sqlite3.InterfaceError as error:
+        except sqlite3.Error as error:
+            # Unbindable values raise InterfaceError on older Pythons and
+            # ProgrammingError on 3.12+; both must surface as the typed
+            # EvaluationError callers branch on — unless the connection
+            # was closed out from under us, which is an engine failure.
+            if self._closed:
+                raise StorageError(
+                    f"SQLiteBackend was closed during execution: {error}"
+                ) from error
             raise EvaluationError(
                 f"table {name}: value not storable in SQLite ({error})"
             ) from error
+
+    @_uses_connection
+    def insert_many(self, name: str, rows: Iterable[Sequence[object]]) -> None:
+        prepared = self._prepare_rows(name, rows)
+        if not prepared:
+            return
+        self._insert_prepared(name, prepared)
         self._connection.commit()
+
+    def _delete_prepared(self, name: str, prepared: List[Tuple[object, ...]]) -> int:
+        """Bag-semantics delete by rowid, without committing.
+
+        Each requested row removes at most one stored occurrence: the
+        inner SELECT picks a single matching rowid.  ``IS`` (null-safe
+        equality) keeps ``None`` deletable.
+        """
+        columns = self._attributes[name]
+        predicate = " AND ".join(f"{quote_identifier(c)} IS ?" for c in columns)
+        statement = (
+            f"DELETE FROM {quote_identifier(name)} WHERE rowid = ("
+            f"SELECT rowid FROM {quote_identifier(name)} "
+            f"WHERE {predicate} LIMIT 1)"
+        )
+        removed = 0
+        try:
+            for row in prepared:
+                cursor = self._connection.execute(statement, row)
+                removed += cursor.rowcount if cursor.rowcount > 0 else 0
+        except sqlite3.Error as error:
+            if self._closed:
+                raise StorageError(
+                    f"SQLiteBackend was closed during execution: {error}"
+                ) from error
+            raise EvaluationError(
+                f"table {name}: delete failed ({error})"
+            ) from error
+        return removed
+
+    @_uses_connection
+    def delete_many(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        prepared = self._prepare_rows(name, rows)
+        if not prepared:
+            return 0
+        removed = self._delete_prepared(name, prepared)
+        self._connection.commit()
+        return removed
+
+    @_uses_connection
+    def apply(self, changeset: "ChangeSet") -> None:
+        """Apply a whole change set in one transaction (all or nothing)."""
+        self._require_open()
+        try:
+            for change in changeset.changes:
+                deletes = self._prepare_rows(change.relation, change.deletes)
+                inserts = self._prepare_rows(change.relation, change.inserts)
+                if deletes:
+                    self._delete_prepared(change.relation, deletes)
+                if inserts:
+                    self._insert_prepared(change.relation, inserts)
+            self._connection.commit()
+        except Exception:
+            try:
+                self._connection.rollback()
+            except sqlite3.Error:
+                pass
+            raise
 
     def _require_table(self, name: str) -> int:
         self._require_open()
@@ -156,6 +280,7 @@ class SQLiteBackend(StorageBackend):
     def table_names(self) -> Tuple[str, ...]:
         return tuple(self._arities)
 
+    @_uses_connection
     def rows(self, name: str) -> Sequence[Row]:
         self._require_table(name)
         cursor = self._connection.execute(
@@ -163,6 +288,7 @@ class SQLiteBackend(StorageBackend):
         )
         return tuple(tuple(row) for row in cursor.fetchall())
 
+    @_uses_connection
     def cardinalities(self) -> Dict[str, int]:
         self._require_open()
         counts: Dict[str, int] = {}
@@ -173,6 +299,7 @@ class SQLiteBackend(StorageBackend):
             counts[name] = int(cursor.fetchone()[0])
         return counts
 
+    @_uses_connection
     def cardinality(self, name: str) -> int:
         self._require_open()
         if name not in self._arities:
@@ -182,6 +309,7 @@ class SQLiteBackend(StorageBackend):
         )
         return int(cursor.fetchone()[0])
 
+    @_uses_connection
     def collect_statistics(self) -> "StatisticsCatalog":
         """Statistics via ``ANALYZE``: row counts and distinct counts.
 
@@ -253,6 +381,7 @@ class SQLiteBackend(StorageBackend):
             return render_union_sql_query(query, self._schema, distinct=distinct)
         return render_sql_query(query, self._schema, distinct=distinct)
 
+    @_uses_connection
     def execute(self, query: Query, distinct: bool = True) -> List[Row]:
         self._require_open()
         self._check_relations(query)
@@ -261,11 +390,19 @@ class SQLiteBackend(StorageBackend):
         statement = self.compile_query(query, distinct=distinct)
         try:
             cursor = self._connection.execute(statement.sql, statement.params)
+            return [tuple(row) for row in cursor.fetchall()]
         except sqlite3.Error as error:
+            if self._closed:
+                # The connection was closed out from under a running query
+                # (a replica killed mid-read): that is an engine failure,
+                # not a query bug, so surface it as the StorageError the
+                # replicated backend's failover reacts to.
+                raise StorageError(
+                    f"SQLiteBackend was closed during execution: {error}"
+                ) from error
             raise EvaluationError(
                 f"SQLite rejected the reformulation SQL: {error}\n{statement.sql}"
             ) from error
-        return [tuple(row) for row in cursor.fetchall()]
 
     def execute_union(self, union: Query, distinct: bool = True) -> List[Row]:
         """Run a whole union reformulation as one SQL statement (one round trip).
@@ -277,6 +414,7 @@ class SQLiteBackend(StorageBackend):
         """
         return self.execute(union, distinct=distinct)
 
+    @_uses_connection
     def explain(self, query: Query) -> str:
         """SQLite's EXPLAIN QUERY PLAN for the compiled statement."""
         self._require_open()
@@ -302,6 +440,7 @@ class SQLiteBackend(StorageBackend):
                     )
 
     # -- indexing ------------------------------------------------------
+    @_uses_connection
     def ensure_indexes(self, query: Query) -> List[str]:
         """Create indexes on the join/selection columns *query* touches.
 
@@ -340,6 +479,10 @@ class SQLiteBackend(StorageBackend):
                             f"({quote_identifier(column)})"
                         )
                     except sqlite3.Error as error:
+                        if self._closed:
+                            raise StorageError(
+                                f"SQLiteBackend was closed during execution: {error}"
+                            ) from error
                         raise EvaluationError(
                             f"could not index {atom.relation}.{column}: {error}"
                         ) from error
@@ -359,13 +502,33 @@ class SQLiteBackend(StorageBackend):
     def closed(self) -> bool:
         return self._closed
 
-    def close(self) -> None:
-        """Release the connection.  Closing twice raises :class:`StorageError`."""
-        if self._closed:
-            raise StorageError("SQLiteBackend.close() called twice")
-        self._connection.close()
-        self._closed = True
+    @property
+    def clone_is_snapshot(self) -> bool:
+        """Per-connection databases snapshot on clone; file databases share."""
+        return self.path in (":memory:", "")
 
+    def close(self) -> None:
+        """Release the connection.  Closing twice raises :class:`StorageError`.
+
+        Safe under concurrent use: the backend is marked closed at once
+        (new operations raise :class:`StorageError` — the replicated
+        backend's failover signal), but the underlying sqlite3 connection
+        is only freed when the last in-flight operation exits — closing a
+        connection another thread is actively stepping crashes the
+        interpreter rather than raising.
+        """
+        release = False
+        with self._state_lock:
+            if self._closed:
+                raise StorageError("SQLiteBackend.close() called twice")
+            self._closed = True
+            if self._inflight == 0:
+                self._connection_released = True
+                release = True
+        if release:
+            self._connection.close()
+
+    @_uses_connection
     def clone(self) -> "SQLiteBackend":
         """A new backend over the same data, safe to hand to another thread.
 
@@ -390,6 +553,9 @@ class SQLiteBackend(StorageBackend):
         clone._indexed = set(self._indexed)
         clone.auto_index = self.auto_index
         clone._closed = False
+        clone._state_lock = threading.Lock()
+        clone._inflight = 0
+        clone._connection_released = False
         if self.path in (":memory:", ""):
             self._connection.backup(clone._connection)
         return clone

@@ -47,6 +47,31 @@ class Table:
     def clear(self) -> None:
         self._rows.clear()
 
+    def delete_many(self, rows: Iterable[Sequence[object]]) -> int:
+        """Remove at most one stored occurrence per requested row (bag delete)."""
+        from collections import Counter
+
+        pending = Counter(tuple(row) for row in rows)
+        if not pending:
+            return 0
+        kept: List[Row] = []
+        removed = 0
+        for row in self._rows:
+            if pending.get(row, 0) > 0:
+                pending[row] -= 1
+                removed += 1
+            else:
+                kept.append(row)
+        if removed:
+            self._rows = kept
+        return removed
+
+    def copy(self) -> "Table":
+        """An independent table holding the same rows (snapshot)."""
+        duplicate = Table(self.name, self.arity, self.attributes)
+        duplicate._rows = list(self._rows)
+        return duplicate
+
     @property
     def rows(self) -> Tuple[Row, ...]:
         return tuple(self._rows)
@@ -99,6 +124,18 @@ class InMemoryDatabase:
     def clear_table(self, name: str) -> None:
         """Delete every row of *name* (the table itself remains declared)."""
         self.table(name).clear()
+
+    def delete_many(self, name: str, rows: Iterable[Sequence[object]]) -> int:
+        """Bag-semantics delete: each row removes at most one occurrence."""
+        return self.table(name).delete_many(rows)
+
+    def copy(self) -> "InMemoryDatabase":
+        """An independent database holding snapshots of every table."""
+        duplicate = InMemoryDatabase()
+        duplicate.schema = self.schema
+        for name, table in self._tables.items():
+            duplicate._tables[name] = table.copy()
+        return duplicate
 
     def rows(self, name: str) -> Tuple[Row, ...]:
         """The rows of table *name*, in insertion order."""

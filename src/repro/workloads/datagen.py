@@ -7,7 +7,7 @@ reproducible; no global random state is touched.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 
 class SyntheticDataGenerator:
@@ -41,3 +41,106 @@ class SyntheticDataGenerator:
                 "shipping", "payment", "seller", "warranty", "offer", "lot",
             )
         return " ".join(self.choice(vocabulary) for _ in range(count))
+
+
+class UpdateStreamGenerator:
+    """A seeded stream of change sets over a snapshot of stored tables.
+
+    Feeds the live write path (``PublishingService.update`` or a bare
+    ``backend.apply``) with reproducible mixed workloads: each
+    :meth:`next_changeset` inserts fresh rows (mutated copies of sampled
+    stored rows, so value distributions stay workload-shaped) and deletes
+    rows that are actually present (bag-correct: a row is deleted at most
+    as often as it occurs).  The generator tracks the table state it has
+    produced, so :meth:`expected_rows` doubles as the oracle the
+    differential tests compare engines against.
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[str, Sequence[Sequence[object]]],
+        seed: int = 0,
+        token_prefix: str = "upd",
+    ):
+        self._rng = random.Random(seed)
+        self._state: Dict[str, List[Tuple[object, ...]]] = {
+            name: [tuple(row) for row in rows]
+            for name, rows in tables.items()
+            if len(tuple(rows))
+        }
+        if not self._state:
+            raise ValueError("update stream needs at least one populated table")
+        self._names = sorted(self._state)
+        # Row shapes survive even if a table is deleted down to empty.
+        self._shapes: Dict[str, Tuple[object, ...]] = {
+            name: rows[0] for name, rows in self._state.items()
+        }
+        self._prefix = token_prefix
+        self._counter = 0
+
+    @classmethod
+    def from_backend(
+        cls,
+        backend,
+        relations: Sequence[str],
+        seed: int = 0,
+        token_prefix: str = "upd",
+    ) -> "UpdateStreamGenerator":
+        """Snapshot *relations* out of a built backend and stream over them."""
+        return cls(
+            {name: backend.rows(name) for name in relations},
+            seed=seed,
+            token_prefix=token_prefix,
+        )
+
+    def _fresh_value(self, template: object) -> object:
+        self._counter += 1
+        if isinstance(template, (int, float)) and not isinstance(template, bool):
+            return type(template)(self._rng.randint(1, 10_000))
+        return f"{self._prefix}_{self._counter:06d}"
+
+    def _fresh_row(self, table: str) -> Tuple[object, ...]:
+        """A new row shaped like the stored data, with some fresh values."""
+        source = self._state[table] or [self._shapes[table]]
+        template = list(self._rng.choice(source))
+        positions = range(len(template))
+        mutate = self._rng.sample(
+            list(positions), self._rng.randint(1, len(template))
+        )
+        for position in mutate:
+            template[position] = self._fresh_value(template[position])
+        return tuple(template)
+
+    def next_changeset(
+        self, max_tables: int = 2, max_rows: int = 4
+    ) -> "ChangeSet":
+        """The next random change set; the internal oracle state advances."""
+        from ..replica.changeset import ChangeSet, TableChange
+
+        rng = self._rng
+        count = rng.randint(1, min(max_tables, len(self._names)))
+        changes = []
+        for table in rng.sample(self._names, count):
+            state = self._state[table]
+            inserts = [
+                self._fresh_row(table) for _ in range(rng.randint(0, max_rows))
+            ]
+            deletable = min(len(state), rng.randint(0, max_rows))
+            deletes = rng.sample(state, deletable) if deletable else []
+            if not inserts and not deletes:
+                inserts = [self._fresh_row(table)]
+            for row in deletes:
+                state.remove(row)
+            state.extend(inserts)
+            changes.append(
+                TableChange(
+                    relation=table,
+                    inserts=tuple(inserts),
+                    deletes=tuple(deletes),
+                )
+            )
+        return ChangeSet(changes=tuple(changes))
+
+    def expected_rows(self, table: str) -> Tuple[Tuple[object, ...], ...]:
+        """The oracle: the multiset of rows *table* should hold now."""
+        return tuple(self._state[table])

@@ -221,11 +221,32 @@ class TestConnectionPool:
         pool.close(force=True)
         with pytest.raises(StorageError):
             pool.acquire()
-        # the in-flight connection is closed when it comes back
+        # releasing after forced teardown stays safe (already closed)
         pool.release(checked_out)
         assert checked_out.closed
         pool.close()  # idempotent
         assert not template.closed
+        template.close()
+
+    def test_force_close_closes_checked_out_clones(self):
+        """Regression: close(force=True) used to leak abandoned checkouts.
+
+        A clone checked out and never released kept its SQLite handle open
+        forever; forced teardown must sweep every clone it created, not
+        just the idle ones.
+        """
+        template = self.build_template()
+        pool = ConnectionPool(template, size=3)
+        abandoned = pool.acquire()
+        also_abandoned = pool.acquire()
+        assert not abandoned.closed and not also_abandoned.closed
+        pool.close(force=True)
+        # the checked-out clones are closed immediately, not "eventually"
+        assert abandoned.closed
+        assert also_abandoned.closed
+        # and the closed handle is genuinely unusable
+        with pytest.raises(StorageError):
+            abandoned.rows("r")
         template.close()
 
     def test_invalid_size_rejected(self):

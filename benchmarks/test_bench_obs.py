@@ -1,0 +1,138 @@
+"""Observability overhead: full tracing must cost < 5% on the publish path.
+
+The instrumentation bargain of the obs package is that always-on tracing
+is affordable: a warmed-cache publish allocates a handful of span objects
+(the trace root, the plan-cache lookup phase, pool checkout, execute),
+the ambient stack is a thread-local list, and metrics are GIL-atomic
+float updates.  Measured on this machine the whole traced shape is a
+single-digit-microsecond constant per publish.
+
+Two numbers are produced:
+
+* **The asserted headline** — publish latency with tracing on vs. off on
+  the paper's benchmark workload (xmark at the backend sweep's top scale,
+  the same configuration ``test_bench_replica`` uses), warmed plan cache,
+  interleaved min-of-trials.  The overhead must stay under **5%**.
+* **The reported worst case** — the same comparison on the tiny medical
+  workload, whose warmed publish is little more than a plan-cache probe
+  and a sub-200-microsecond in-memory scan.  Against that floor the fixed
+  span cost is proportionally largest; the number is printed so the
+  constant stays visible, but hardware noise at that scale makes it a
+  report, not an assertion.
+
+Methodology: both services are warmed first, then trials alternate
+between them (base, traced, base, traced, ...) so both see the same
+machine conditions; the **minimum** trial time per service is compared,
+which discards scheduler noise and GC pauses rather than averaging them
+in.
+"""
+
+from repro.obs import NULL_TRACE, timer
+from repro.serve import PublishingService
+from repro.workloads import medical, xmark
+
+#: The top xmark scale of the backend benchmark sweep (scale factor 8).
+TOP_SCALE = 8
+MAX_OVERHEAD = 0.05
+
+
+def top_xmark_configuration(scale=TOP_SCALE):
+    parameters = xmark.XMarkParameters(
+        items_per_region=8 * scale,
+        people=15 * scale,
+        closed_auctions=20 * scale,
+    )
+    return xmark.build_configuration(parameters)
+
+
+def _measure_pair(make_service, queries, trials, rounds_per_trial, warmup):
+    """Interleaved min-of-trials seconds-per-publish for (base, traced)."""
+    services = {}
+    for tracing in (False, True):
+        service = services[tracing] = make_service(tracing)
+        for query in queries:
+            for _ in range(warmup):
+                service.publish(query)
+    assert services[False].last_trace is NULL_TRACE
+    assert services[True].last_trace is not NULL_TRACE
+    best = {False: None, True: None}
+    try:
+        for _ in range(trials):
+            for tracing in (False, True):
+                service = services[tracing]
+                clock = timer()
+                for _ in range(rounds_per_trial):
+                    for query in queries:
+                        service.publish(query)
+                seconds = clock.stop()
+                previous = best[tracing]
+                best[tracing] = (
+                    seconds if previous is None else min(previous, seconds)
+                )
+    finally:
+        for service in services.values():
+            service.close()
+    publishes = rounds_per_trial * len(queries)
+    return best[False] / publishes, best[True] / publishes
+
+
+def _report(title, base, traced):
+    overhead = traced / base - 1.0
+    print(
+        f"\n{title}:"
+        f"\n  tracing off: {base * 1e6:8.1f} us/publish"
+        f"\n  tracing on:  {traced * 1e6:8.1f} us/publish"
+        f"\n  overhead:    {overhead * 100:8.2f} % "
+        f"({(traced - base) * 1e6:+.1f} us/publish)"
+    )
+    return overhead
+
+
+class TestTracingOverhead:
+    def test_full_tracing_publish_overhead_under_five_percent(self):
+        """The acceptance criterion, on the paper's benchmark workload."""
+        queries = [xmark.query_item_names()] + list(xmark.query_suite())[:3]
+        base, traced = _measure_pair(
+            lambda tracing: PublishingService(
+                top_xmark_configuration(), pool_size=2, tracing=tracing
+            ),
+            queries,
+            trials=8,
+            rounds_per_trial=10,
+            warmup=5,
+        )
+        overhead = _report(
+            f"Publish-path tracing overhead (xmark scale {TOP_SCALE})",
+            base,
+            traced,
+        )
+        assert overhead < MAX_OVERHEAD, (
+            f"full tracing cost {overhead:.1%} on the warmed publish "
+            f"path; the budget is {MAX_OVERHEAD:.0%}"
+        )
+
+    def test_toy_query_overhead_is_reported(self):
+        """The worst case: the fixed span cost against the cheapest
+        possible publish.  Reported for visibility, not asserted — at
+        sub-200us per publish the comparison is hardware noise."""
+        base, traced = _measure_pair(
+            lambda tracing: PublishingService(
+                medical.build_configuration(), pool_size=2, tracing=tracing
+            ),
+            [medical.client_query()],
+            trials=15,
+            rounds_per_trial=200,
+            warmup=50,
+        )
+        _report("Toy-workload floor (medical, reported only)", base, traced)
+
+    def test_disabled_tracing_publish_is_null_trace(self):
+        """The guard the overhead numbers rest on: disabled tracing takes
+        the singleton path — no trace object survives a publish."""
+        with PublishingService(
+            medical.build_configuration(), pool_size=1, tracing=False
+        ) as service:
+            for _ in range(3):
+                service.publish(medical.client_query())
+            assert service.last_trace is NULL_TRACE
+            assert service.tracer.trace("publish") is NULL_TRACE

@@ -1,0 +1,120 @@
+"""Observability tour: traces, metrics, events and cost feedback, live.
+
+Builds a replicated-over-sharded publishing service on the XMark
+workload and walks the full telemetry surface:
+
+* a traced ``publish`` rendered as a span tree (plan-cache lookup, C&B
+  reformulation, routing, per-shard execution, merge — through the
+  replica layer);
+* the slow-query log with a threshold and a sampling rate;
+* a live update and the LSN-stamped event log (statistics refreshes,
+  and — after an online rebalance — the stage/copy/replay/cutover
+  sequence);
+* the estimate-vs-actual misestimation report and the adaptive
+  statistics refresh it can trigger;
+* the Prometheus text exposition a scrape of ``service.metrics()``
+  would return.
+
+Run with:  python examples/observability.py
+"""
+
+from repro.obs import STATISTICS_REFRESH
+from repro.replica import ChangeSet
+from repro.serve import PublishingService
+from repro.workloads import xmark
+
+
+def banner(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    configuration = xmark.build_configuration()
+    configuration.backend = "replicated"
+    configuration.replica_count = 2
+    configuration.replica_child = "sharded"
+    configuration.shard_count = 3
+
+    with PublishingService(
+        configuration,
+        pool_size=2,
+        slow_query_seconds=0.0,  # absurdly low: log every 3rd publish
+        slow_query_sample=3,
+    ) as service:
+        queries = [xmark.query_item_names(), *xmark.query_suite()[:3]]
+
+        banner("A traced publish (explain trace=True)")
+        print(service.explain(queries[0], trace=True))
+
+        banner("The same trace as JSON (first two levels)")
+        for _ in range(2):
+            service.publish(queries[0])  # now a plan-cache hit
+        exported = service.last_trace.to_dict()
+        root = exported["trace"]
+        print({k: v for k, v in exported.items() if k != "trace"})
+        print(f"root: {root['name']} ({root['duration_ms']} ms)")
+        for child in root.get("children", ()):
+            print(f"  {child['name']}: {child['duration_ms']} ms "
+                  f"{child.get('attributes', {})}")
+
+        banner("Slow-query log (threshold 0s, every 3rd sampled)")
+        for query in queries:
+            service.publish(query)
+        for event in service.slow_queries():
+            print(f"  #{event.sequence} {event.details['query']}: "
+                  f"{event.details['seconds'] * 1000:.2f} ms, "
+                  f"{event.details['rows']} rows")
+
+        banner("A live update, then the event log")
+        service.update(
+            ChangeSet.build(inserts={"itemName": [("item_obs_1", "telemetry")]})
+        )
+        for event in service.events.events():
+            if event.kind == "query.slow":
+                continue
+            print(f"  #{event.sequence} [lsn {event.lsn}] {event.kind} "
+                  f"{event.details}")
+
+        banner("Cost feedback: estimated vs actual per fingerprint")
+        for query in queries:
+            service.publish(query)
+        for entry in service.misestimation_report(min_samples=1)[:5]:
+            print(f"  plan {entry.plan_name}: estimated {entry.estimated_rows:.1f} "
+                  f"rows, actual {entry.actual_rows:.1f} "
+                  f"(q-error {entry.cardinality_q_error:.2f}, "
+                  f"{entry.samples} sample(s))")
+        refreshed = service.refresh_if_misestimated(q_threshold=2.0, min_samples=1)
+        print(f"  refresh_if_misestimated(q>=2): {refreshed}")
+        if refreshed:
+            event = service.events.events(STATISTICS_REFRESH)[-1]
+            print(f"  -> event #{event.sequence}: {event.kind} {event.details}")
+
+        banner("Prometheus exposition (first 25 lines of metrics())")
+        for line in service.metrics().splitlines()[:25]:
+            print(f"  {line}")
+
+        banner("ServiceStats.snapshot()")
+        snapshot = service.stats().snapshot()
+        for key in ("queries_served", "replica_failovers", "replica_fenced"):
+            print(f"  {key}: {snapshot[key]}")
+        for key in ("router", "replicas"):
+            if key in snapshot:
+                print(f"  {key}: {snapshot[key]}")
+
+    # Online rebalancing runs against a sharded (unreplicated) template;
+    # a second service shows the staged cutover on the event log.
+    banner("Online rebalance events (sharded service, 3 -> 4 shards)")
+    sharded = xmark.build_configuration()
+    sharded.backend = "sharded"
+    sharded.shard_count = 3
+    with PublishingService(sharded, pool_size=1) as service:
+        service.publish(xmark.query_item_names())
+        report = service.rebalance(shards=4)
+        print(f"  moved {report.rows_copied} rows in {report.seconds * 1000:.1f} ms")
+        for event in service.events.events():
+            print(f"  #{event.sequence} [lsn {event.lsn}] {event.kind} "
+                  f"{event.details}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,12 +19,12 @@ them:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Tuple, Type, Union
 
 from ..compile.view_compiler import RelationalView
 from ..logical.queries import ConjunctiveQuery, UnionQuery
+from ..obs.timer import timer
 from ..storage.backends import StorageBackend
 from ..xbind.evaluation import MixedStorage, evaluate_xbind
 from ..xbind.query import XBindQuery
@@ -189,16 +189,16 @@ class MarsExecutor:
         self, original: XBindQuery, reformulation: ConjunctiveQuery, repeat: int = 1
     ) -> ExecutionComparison:
         """Run both versions, compare answers and wall-clock time."""
-        start = time.perf_counter()
+        clock = timer()
         original_rows: List[Row] = []
         for _ in range(max(1, repeat)):
             original_rows = self.execute_original(original)
-        original_seconds = (time.perf_counter() - start) / max(1, repeat)
-        start = time.perf_counter()
+        original_seconds = clock.elapsed / max(1, repeat)
+        clock = timer()
         reformulated_rows: List[Row] = []
         for _ in range(max(1, repeat)):
             reformulated_rows = self.execute_reformulation(reformulation)
-        reformulated_seconds = (time.perf_counter() - start) / max(1, repeat)
+        reformulated_seconds = clock.elapsed / max(1, repeat)
         return ExecutionComparison(
             original_rows=original_rows,
             reformulated_rows=reformulated_rows,

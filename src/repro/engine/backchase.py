@@ -17,7 +17,6 @@ which is returned even when minimization is switched off.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -25,6 +24,7 @@ from ..errors import ReformulationError
 from ..logical.atoms import RelationalAtom
 from ..logical.dependencies import DED
 from ..logical.queries import ConjunctiveQuery
+from ..obs.timer import timer
 from .containment import ContainmentChecker
 from .cost import CostEstimator, SimpleCostEstimator
 from .pruning import SubqueryLegality
@@ -122,7 +122,7 @@ class BackchaseEngine:
         legality: Optional[SubqueryLegality] = None,
     ) -> BackchaseResult:
         """Enumerate minimal reformulations of *original* inside *universal_plan*."""
-        start = time.perf_counter()
+        clock = timer()
         candidates = self.target_atoms(universal_plan, target_relations)
         result = BackchaseResult(
             original=original,
@@ -132,7 +132,7 @@ class BackchaseEngine:
             ),
         )
         if not candidates:
-            result.elapsed_seconds = time.perf_counter() - start
+            result.elapsed_seconds = clock.elapsed
             return result
         if legality is None:
             legality = SubqueryLegality(candidates, specs=(), enabled=False)
@@ -175,7 +175,7 @@ class BackchaseEngine:
                 )
             for subset in level:
                 if result.subqueries_inspected >= self.config.max_inspected:
-                    result.elapsed_seconds = time.perf_counter() - start
+                    result.elapsed_seconds = clock.elapsed
                     return result
                 if any(found <= subset for found in found_sets):
                     continue  # supersets of reformulations are never minimal
@@ -198,7 +198,7 @@ class BackchaseEngine:
                         else:
                             record_reformulation(subset, subquery, cost)
                             if self.config.stop_at_first:
-                                result.elapsed_seconds = time.perf_counter() - start
+                                result.elapsed_seconds = clock.elapsed
                                 return result
                             continue  # supersets cannot be minimal
                 if len(subset) >= max_size:
@@ -215,7 +215,7 @@ class BackchaseEngine:
                     next_level.append(extended)
             level = next_level
 
-        result.elapsed_seconds = time.perf_counter() - start
+        result.elapsed_seconds = clock.elapsed
         return result
 
     # ------------------------------------------------------------------

@@ -10,13 +10,13 @@ one with the plug-in cost estimator.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 from ..errors import ReformulationError
 from ..logical.dependencies import DED
 from ..logical.queries import ConjunctiveQuery
+from ..obs.timer import timer
 from .backchase import BackchaseConfig, BackchaseEngine, BackchaseResult
 from .chase import ChaseConfig, ChaseEngine, ChaseResult
 from .containment import ContainmentChecker
@@ -105,7 +105,7 @@ class CBEngine:
         *target_relations* restricts reformulations to the proprietary
         schema; when ``None`` every relation may be used.
         """
-        start = time.perf_counter()
+        clock = timer()
         chase_result = self.chase_to_universal_plan(query, dependencies)
         if not chase_result.branches:
             raise ReformulationError(
@@ -117,7 +117,7 @@ class CBEngine:
             universal_plan, pruned_count = prune_parallel_descendant_atoms(
                 universal_plan, self.specs
             )
-        time_universal = time.perf_counter() - start
+        time_universal = clock.elapsed
 
         candidates = self.backchase_engine.target_atoms(universal_plan, target_relations)
         legality = SubqueryLegality(
@@ -129,7 +129,7 @@ class CBEngine:
         initial = self.backchase_engine.initial_reformulation(
             query, universal_plan, dependencies, target_relations
         )
-        time_initial = time.perf_counter() - start
+        time_initial = clock.elapsed
 
         if not self.config.minimize:
             best_cost = self.estimator.estimate(initial) if initial else math.inf
@@ -155,7 +155,7 @@ class CBEngine:
             target_relations=target_relations,
             legality=legality,
         )
-        time_best = time.perf_counter() - start
+        time_best = clock.elapsed
         best = backchase_result.best
         best_cost = backchase_result.best_cost
         if best is None and initial is not None:

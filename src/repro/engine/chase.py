@@ -25,11 +25,11 @@ Two homomorphism-search strategies are available, mirroring the paper:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ChaseError
+from ..obs.timer import timer
 from ..logical.atoms import Atom, EqualityAtom, RelationalAtom
 from ..logical.dependencies import DED, Disjunct
 from ..logical.queries import ConjunctiveQuery
@@ -124,7 +124,7 @@ class ChaseEngine:
         dependencies: Sequence[DED],
     ) -> ChaseResult:
         """Chase *query* with *dependencies* until no step applies."""
-        start = time.perf_counter()
+        clock = timer()
         statistics = ChaseStatistics()
         factory = VariableFactory(prefix="_x", used=[v.name for v in query.variables()])
         frontier: List[ConjunctiveQuery] = [query.dedupe()]
@@ -150,7 +150,7 @@ class ChaseEngine:
                 finished.extend(frontier)
                 frontier = []
         statistics.branches = max(1, len(finished))
-        statistics.elapsed_seconds = time.perf_counter() - start
+        statistics.elapsed_seconds = clock.elapsed
         if not finished:
             finished = []
         return ChaseResult(original=query, branches=finished, statistics=statistics)

@@ -1,0 +1,84 @@
+"""Observability: tracing, metrics, events and cost feedback for MARS.
+
+After PRs 1–5 the system could serve, shard, replicate and rebalance —
+silently.  This package is the instrumentation layer every subsystem
+reports through:
+
+* :mod:`repro.obs.timer` — the one wall-clock helper (``obs.timer()``)
+  behind every duration the system records, so spans, ``elapsed_seconds``
+  fields and benchmark deltas agree;
+* :mod:`repro.obs.trace` — per-request span trees (:class:`Tracer`,
+  :class:`Span`, the ambient :func:`current_span`), free when disabled;
+* :mod:`repro.obs.metrics` — the thread-safe :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket histograms with p50/p95/p99) with
+  Prometheus-text and JSON exposition;
+* :mod:`repro.obs.events` — the structured :class:`EventLog` of state
+  transitions (replica fencing, failover, clone replacement, statistics
+  refresh, rebalance stages), LSN-stamped;
+* :mod:`repro.obs.feedback` — the :class:`CostFeedback` recorder of
+  estimated-vs-actual cardinality and cost per query fingerprint, the
+  report adaptive statistics re-collection consumes.
+
+The :class:`~repro.serve.PublishingService` wires all four together; see
+``docs/OBSERVABILITY.md`` for the span taxonomy, metric names and event
+schema.
+"""
+
+from .events import (
+    Event,
+    EventLog,
+    POOL_CLONE_REPLACED,
+    REBALANCE_COPY,
+    REBALANCE_CUTOVER,
+    REBALANCE_REPLAY,
+    REBALANCE_STAGE,
+    REPLICA_FAILOVER,
+    REPLICA_FENCED,
+    SLOW_QUERY,
+    STATISTICS_REFRESH,
+)
+from .feedback import CostFeedback, FingerprintFeedback, q_error
+from .metrics import (
+    ALLOWED_UNIT_SUFFIXES,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    validate_metric_name,
+)
+from .timer import Timer, now, timer
+from .trace import NULL_SPAN, NULL_TRACE, Span, Trace, Tracer, current_span
+
+__all__ = [
+    "ALLOWED_UNIT_SUFFIXES",
+    "Counter",
+    "CostFeedback",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Event",
+    "EventLog",
+    "FingerprintFeedback",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACE",
+    "POOL_CLONE_REPLACED",
+    "REBALANCE_COPY",
+    "REBALANCE_CUTOVER",
+    "REBALANCE_REPLAY",
+    "REBALANCE_STAGE",
+    "REPLICA_FAILOVER",
+    "REPLICA_FENCED",
+    "SLOW_QUERY",
+    "STATISTICS_REFRESH",
+    "Span",
+    "Timer",
+    "Trace",
+    "Tracer",
+    "current_span",
+    "now",
+    "q_error",
+    "timer",
+    "validate_metric_name",
+]

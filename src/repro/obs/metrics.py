@@ -1,0 +1,501 @@
+"""A thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+
+Every subsystem used to expose an ad-hoc ``*Stats`` dataclass and nothing
+else — point-in-time counters with no latency distributions and no common
+exposition.  The :class:`MetricsRegistry` is the shared substrate those
+stats now feed:
+
+* :class:`Counter` — monotonically increasing totals (``_total`` suffix
+  required, the Prometheus convention);
+* :class:`Gauge` — settable point-in-time values (pool occupancy, live
+  replica count);
+* :class:`Histogram` — fixed-bucket latency/size distributions with
+  cumulative bucket counts, from which p50/p95/p99 are interpolated.
+
+Metric names are validated at registration time — ``snake_case``, a known
+unit suffix (:data:`ALLOWED_UNIT_SUFFIXES`), registered once per kind —
+and ``tools/check_metrics.py`` lints the same rules statically in CI.
+Metrics may carry labels (``registry.counter(..., labels=("shard",))``)
+and are exported two ways: :meth:`MetricsRegistry.render_prometheus`
+emits the text exposition format a Prometheus scrape expects, and
+:meth:`MetricsRegistry.snapshot` returns the same data as a JSON-able
+dict.  *Collectors* — callbacks run at export time — bridge the existing
+``*Stats`` snapshots (pool, cache, router, shard, replica) into gauges
+without putting a second counter on any hot path.
+
+>>> registry = MetricsRegistry()
+>>> served = registry.counter("demo_queries_served_total", "queries answered")
+>>> served.inc()
+>>> served.inc(2)
+>>> served.value
+3.0
+>>> latency = registry.histogram("demo_publish_latency_seconds",
+...                              "publish wall-clock", buckets=(0.1, 1.0))
+>>> for value in (0.05, 0.05, 0.5, 2.0):
+...     latency.observe(value)
+>>> latency.count
+4
+>>> print(registry.render_prometheus())  # doctest: +ELLIPSIS
+# HELP demo_publish_latency_seconds publish wall-clock
+# TYPE demo_publish_latency_seconds histogram
+demo_publish_latency_seconds_bucket{le="0.1"} 2
+demo_publish_latency_seconds_bucket{le="1.0"} 3
+demo_publish_latency_seconds_bucket{le="+Inf"} 4
+demo_publish_latency_seconds_sum 2.6
+demo_publish_latency_seconds_count 4
+# HELP demo_queries_served_total queries answered
+# TYPE demo_queries_served_total counter
+demo_queries_served_total 3
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from bisect import bisect_left
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+#: Every metric name must end with one of these unit suffixes (Prometheus
+#: naming convention: the unit travels in the name, not in a comment).
+#: ``tools/check_metrics.py`` imports this tuple so the CI lint and the
+#: runtime validation can never disagree.
+ALLOWED_UNIT_SUFFIXES: Tuple[str, ...] = (
+    "_total",
+    "_seconds",
+    "_bytes",
+    "_rows",
+    "_ratio",
+    "_connections",
+    "_entries",
+    "_replicas",
+    "_shards",
+    "_plans",
+    "_lsn",
+)
+
+_NAME = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Default latency buckets (seconds): microseconds through ~10 s, the
+#: range a publish spans between a warm plan-cache hit and a cold chase.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def validate_metric_name(name: str, kind: str) -> None:
+    """Raise ``ValueError`` unless *name* follows the naming rules."""
+    if not _NAME.match(name):
+        raise ValueError(
+            f"metric name {name!r} is not snake_case "
+            "(lowercase letters, digits and underscores, starting with a letter)"
+        )
+    if kind == "counter" and not name.endswith("_total"):
+        raise ValueError(f"counter {name!r} must end with '_total'")
+    if not name.endswith(ALLOWED_UNIT_SUFFIXES):
+        raise ValueError(
+            f"metric name {name!r} lacks a unit suffix "
+            f"(one of {', '.join(ALLOWED_UNIT_SUFFIXES)})"
+        )
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(names: Tuple[str, ...], values: Tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(f'{name}="{value}"' for name, value in zip(names, values))
+    return "{" + pairs + "}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (inc by {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A settable point-in-time value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A fixed-bucket distribution with interpolated quantiles.
+
+    *buckets* are the inclusive upper bounds, ascending; an implicit
+    ``+Inf`` bucket tops them off.  Quantiles are estimated by linear
+    interpolation inside the owning bucket — exact enough for p50/p95/p99
+    dashboards, and far cheaper than retaining observations.
+    """
+
+    __slots__ = ("buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"bucket bounds must be strictly ascending: {bounds}")
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Cumulative counts per bound (Prometheus ``le`` semantics), +Inf last."""
+        with self._lock:
+            counts = list(self._counts)
+        cumulative: List[int] = []
+        running = 0
+        for count in counts:
+            running += count
+            cumulative.append(running)
+        return tuple(cumulative)
+
+    def quantile(self, q: float) -> float:
+        """The estimated *q*-quantile (0 < q <= 1) of the observations.
+
+        Returns 0.0 with no observations.  Values landing in the +Inf
+        bucket report the largest finite bound (the histogram cannot see
+        past its buckets — size them for the tail you care about).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        running = 0.0
+        for index, count in enumerate(counts):
+            if count == 0:
+                continue
+            if running + count >= rank:
+                if index >= len(self.buckets):
+                    return self.buckets[-1]
+                upper = self.buckets[index]
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                fraction = (rank - running) / count
+                return lower + (upper - lower) * fraction
+            running += count
+        return self.buckets[-1]
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One registered metric name: its kind, help text and labeled children."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "_children", "_lock", "_kwargs")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        **kwargs: Any,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+        self._kwargs = kwargs
+        if not label_names:
+            self._children[()] = _KINDS[kind](**kwargs)
+
+    def labels(self, **labels: Any) -> Any:
+        """The child metric for one label assignment (created on first use)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _KINDS[self.kind](**self._kwargs)
+            return child
+
+    def children(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    # Unlabeled families act as the metric itself.
+    def _solo(self) -> Any:
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name} is labeled ({self.label_names}); "
+                "call .labels(...) first"
+            )
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self._solo().quantile(q)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    @property
+    def count(self) -> int:
+        return self._solo().count
+
+    @property
+    def sum(self) -> float:
+        return self._solo().sum
+
+    @property
+    def buckets(self) -> Tuple[float, ...]:
+        return self._solo().buckets
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        return self._solo().bucket_counts()
+
+
+class MetricsRegistry:
+    """Registered-once metric families plus export-time collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # -- registration --------------------------------------------------
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        labels: Sequence[str],
+        **kwargs: Any,
+    ) -> _Family:
+        validate_metric_name(name, kind)
+        label_names = tuple(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {family.kind} "
+                        f"with labels {family.label_names}"
+                    )
+                return family
+            family = _Family(name, kind, help_text, label_names, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> _Family:
+        return self._register(name, "counter", help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> _Family:
+        return self._register(name, "gauge", help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> _Family:
+        return self._register(name, "histogram", help_text, labels, buckets=buckets)
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Run *collector* before every export (it sets gauges from stats)."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._families))
+
+    def get(self, name: str) -> Optional[_Family]:
+        with self._lock:
+            return self._families.get(name)
+
+    # -- export --------------------------------------------------------
+    def _collect(self) -> List[_Family]:
+        with self._lock:
+            collectors = list(self._collectors)
+            families = [self._families[name] for name in sorted(self._families)]
+        for collector in collectors:
+            collector()
+        return families
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self._collect():
+            help_text = family.help.replace("\\", r"\\").replace("\n", r"\n")
+            lines.append(f"# HELP {family.name} {help_text}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for label_values, metric in family.children():
+                labels = _format_labels(family.label_names, label_values)
+                if family.kind == "histogram":
+                    cumulative = metric.bucket_counts()
+                    for bound, count in zip(metric.buckets, cumulative):
+                        le_names = family.label_names + ("le",)
+                        le_values = label_values + (_format_value(bound),)
+                        lines.append(
+                            f"{family.name}_bucket"
+                            f"{_format_labels(le_names, le_values)} {count}"
+                        )
+                    inf_names = family.label_names + ("le",)
+                    inf_values = label_values + ("+Inf",)
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_format_labels(inf_names, inf_values)} {cumulative[-1]}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{labels} {_format_value(metric.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{labels} {metric.count}")
+                else:
+                    lines.append(
+                        f"{family.name}{labels} {_format_value(metric.value)}"
+                    )
+        return "\n".join(lines)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every metric's current value as a JSON-able dict."""
+        result: Dict[str, Any] = {}
+        for family in self._collect():
+            values: List[Dict[str, Any]] = []
+            for label_values, metric in family.children():
+                labels: Mapping[str, str] = dict(
+                    zip(family.label_names, label_values)
+                )
+                if family.kind == "histogram":
+                    values.append(
+                        {
+                            "labels": dict(labels),
+                            "count": metric.count,
+                            "sum": metric.sum,
+                            "p50": metric.quantile(0.50),
+                            "p95": metric.quantile(0.95),
+                            "p99": metric.quantile(0.99),
+                            "buckets": {
+                                _format_value(bound): count
+                                for bound, count in zip(
+                                    metric.buckets, metric.bucket_counts()
+                                )
+                            },
+                        }
+                    )
+                else:
+                    values.append(
+                        {"labels": dict(labels), "value": metric.value}
+                    )
+            result[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "values": values,
+            }
+        return result
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -1,0 +1,69 @@
+"""The one wall-clock helper every subsystem times itself with.
+
+Before this module existed, ``core/executor.py`` and
+``replica/rebalancer.py`` took raw ``time.perf_counter()`` deltas while
+the C&B engine recorded per-phase ``elapsed_seconds`` fields of its own —
+two timing idioms whose readings could silently disagree (different
+clocks, different start conventions).  :func:`timer` is now the single
+source: it always reads ``time.perf_counter()`` (monotonic, highest
+resolution available), so a span recorded by the tracer, a benchmark
+delta and a ``ChaseStatistics.elapsed_seconds`` field are directly
+comparable numbers.
+
+Usage::
+
+    clock = timer()            # starts immediately
+    ...
+    first = clock.elapsed      # running read (checkpoints, e.g. C&B phases)
+    ...
+    clock.stop()               # freezes clock.seconds
+
+    with timer() as clock:     # context-manager form
+        ...
+    clock.seconds              # frozen on exit
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """A started stopwatch over ``time.perf_counter()``."""
+
+    __slots__ = ("started", "seconds")
+
+    def __init__(self) -> None:
+        self.started: float = time.perf_counter()
+        #: Frozen duration; ``None`` while the timer is still running.
+        self.seconds: Optional[float] = None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since start — a running read that does not stop the timer."""
+        if self.seconds is not None:
+            return self.seconds
+        return time.perf_counter() - self.started
+
+    def stop(self) -> float:
+        """Freeze and return the duration (idempotent)."""
+        if self.seconds is None:
+            self.seconds = time.perf_counter() - self.started
+        return self.seconds
+
+    def __enter__(self) -> "Timer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def timer() -> Timer:
+    """Start and return a :class:`Timer`."""
+    return Timer()
+
+
+def now() -> float:
+    """The raw monotonic reading (`time.perf_counter()`), for span stamps."""
+    return time.perf_counter()

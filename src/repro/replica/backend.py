@@ -41,6 +41,8 @@ from typing import (
 )
 
 from ..errors import StorageError
+from ..obs.events import EventLog, REPLICA_FAILOVER, REPLICA_FENCED
+from ..obs.trace import current_span
 from ..storage.backends.base import Query, Row, StorageBackend, create_backend
 from .changeset import ChangeSet
 from .selector import ReplicaSelector, create_selector
@@ -135,6 +137,13 @@ class ReplicatedBackend(StorageBackend):
         self._fenced = 0
         self._catalog = None
         self._closed = False
+        #: Optional structured event log; the publishing service installs
+        #: its own via :meth:`set_event_log` (clones inherit it).
+        self.events: Optional[EventLog] = None
+
+    def set_event_log(self, events: Optional[EventLog]) -> None:
+        """Install the log fencing and failover events are recorded to."""
+        self.events = events
 
     @staticmethod
     def _create_replica(spec: ChildSpec) -> StorageBackend:
@@ -189,8 +198,12 @@ class ReplicatedBackend(StorageBackend):
                 continue
             with self._lock:
                 self._loads[index] += 1
+            span = current_span().child(
+                "replica.read", replica=index, engine=replica.backend_name
+            )
             try:
-                result = action(replica)
+                with span:
+                    result = action(replica)
             except StorageError as error:
                 # The engine failed (killed replica, closed connection):
                 # try the next copy.  Query errors (EvaluationError and
@@ -199,6 +212,13 @@ class ReplicatedBackend(StorageBackend):
                 with self._lock:
                     self._loads[index] -= 1
                     self._failovers += 1
+                if self.events is not None:
+                    self.events.record(
+                        REPLICA_FAILOVER,
+                        replica=index,
+                        engine=replica.backend_name,
+                        error=str(error),
+                    )
                 continue
             except BaseException:
                 with self._lock:
@@ -289,6 +309,7 @@ class ReplicatedBackend(StorageBackend):
                     replica.close()
                 with self._lock:
                     self._fenced += 1
+                self._record_fence(replica, error)
                 continue
             except Exception as error:
                 # A non-engine error (bad changeset, unstorable value) on
@@ -305,6 +326,7 @@ class ReplicatedBackend(StorageBackend):
                     replica.close()
                 with self._lock:
                     self._fenced += 1
+                self._record_fence(replica, error)
                 continue
             if first:
                 result, first = value, False
@@ -315,6 +337,18 @@ class ReplicatedBackend(StorageBackend):
         with self._lock:
             self._writes += 1
         return result  # type: ignore[return-value]
+
+    def _record_fence(self, replica: StorageBackend, error: Exception) -> None:
+        if self.events is not None:
+            self.events.record(
+                REPLICA_FENCED,
+                replica=self._replicas.index(replica),
+                engine=replica.backend_name,
+                live_replicas=sum(
+                    1 for each in self._replicas if not each.closed
+                ),
+                error=str(error),
+            )
 
     def create_table(
         self, name: str, arity: int, attributes: Optional[Sequence[str]] = None
@@ -431,4 +465,5 @@ class ReplicatedBackend(StorageBackend):
         clone._fenced = 0
         clone._catalog = self._catalog
         clone._closed = False
+        clone.events = self.events
         return clone

@@ -33,12 +33,19 @@ the phase methods are public so tests can interleave writes precisely.
 
 from __future__ import annotations
 
-import time
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import StorageError
+from ..obs.events import (
+    EventLog,
+    REBALANCE_COPY,
+    REBALANCE_CUTOVER,
+    REBALANCE_REPLAY,
+    REBALANCE_STAGE,
+)
+from ..obs.timer import timer
 from ..shard.backend import ChildSpec, ShardedBackend
 from ..storage.backends.base import StorageBackend
 from .changeset import ChangeSet, MutationLog
@@ -71,6 +78,7 @@ class Rebalancer:
         backend: ShardedBackend,
         shards: Optional[int] = None,
         children: Optional[Sequence[ChildSpec]] = None,
+        events: Optional[EventLog] = None,
     ):
         if not isinstance(backend, ShardedBackend):
             raise StorageError(
@@ -93,6 +101,7 @@ class Rebalancer:
                     "child specifications"
                 )
         self.backend = backend
+        self.events = events
         self._child_specs: List[ChildSpec] = list(children)
         self._staging: Optional[ShardedBackend] = None
         #: table -> log LSN its snapshot was taken at.
@@ -123,6 +132,13 @@ class Rebalancer:
             staging.close()
             raise
         self._staging = staging
+        if self.events is not None:
+            self.events.record(
+                REBALANCE_STAGE,
+                old_shards=backend.shard_count,
+                new_shards=staging.shard_count,
+                tables=len(backend.table_names),
+            )
 
     def copy_table(self, name: str, snapshot_lsn: int = 0) -> int:
         """Route one table's current rows into the staging layout.
@@ -167,6 +183,13 @@ class Rebalancer:
                 staging.insert_many(name, rows)
             self._rows_copied += len(rows)
             copied += len(rows)
+        if self.events is not None:
+            self.events.record(
+                REBALANCE_COPY,
+                lsn=max(self._copy_lsn.values(), default=0),
+                tables=len(self._copy_lsn),
+                rows=copied,
+            )
         return copied
 
     def replay(self, log: MutationLog) -> int:
@@ -191,6 +214,12 @@ class Rebalancer:
             self._replayed_upto = entry.lsn
             applied += 1
         self._entries_replayed += applied
+        if self.events is not None:
+            self.events.record(
+                REBALANCE_REPLAY,
+                lsn=self._replayed_upto,
+                entries=applied,
+            )
         return applied
 
     def cutover(self) -> Tuple[StorageBackend, ...]:
@@ -207,7 +236,15 @@ class Rebalancer:
             )
         children = staging.release_children()
         self._staging = None
-        return self.backend.adopt_layout(children)
+        old_children = self.backend.adopt_layout(children)
+        if self.events is not None:
+            self.events.record(
+                REBALANCE_CUTOVER,
+                lsn=self._replayed_upto,
+                new_shards=self.backend.shard_count,
+                layout_version=self.backend.layout_version,
+            )
+        return old_children
 
     def abort(self) -> None:
         """Drop the staging layout (nothing was swapped); idempotent."""
@@ -253,7 +290,7 @@ class Rebalancer:
         managers; ``None`` means no concurrent traffic exists).  With
         *close_old* the superseded children are closed after the swap.
         """
-        start = time.perf_counter()
+        clock = timer()
         old_count = self.backend.shard_count
         self.stage()
         try:
@@ -279,5 +316,5 @@ class Rebalancer:
             rows_copied=self._rows_copied,
             entries_replayed=self._entries_replayed,
             layout_version=self.backend.layout_version,
-            seconds=time.perf_counter() - start,
+            seconds=clock.elapsed,
         )

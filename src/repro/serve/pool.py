@@ -46,6 +46,8 @@ from dataclasses import dataclass
 from typing import Deque, Dict, Iterator, List, Optional
 
 from ..errors import StorageError
+from ..obs.events import EventLog, POOL_CLONE_REPLACED
+from ..obs.trace import current_span
 from ..replica.changeset import MutationLog
 from ..storage.backends import StorageBackend
 
@@ -106,6 +108,7 @@ class ConnectionPool:
         max_waiters: Optional[int] = None,
         label: str = "",
         mutation_log: Optional[MutationLog] = None,
+        events: Optional[EventLog] = None,
     ):
         if size < 1:
             raise StorageError(f"connection pool needs size >= 1, got {size}")
@@ -133,6 +136,8 @@ class ConnectionPool:
                 "uniform child layout for live updates"
             )
         self.mutation_log = mutation_log
+        #: Optional structured event log clone replacements are recorded to.
+        self.events = events
         self._replay = mutation_log is not None and template.clone_is_snapshot
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
@@ -184,6 +189,16 @@ class ConnectionPool:
         the whole call: being woken up and losing the idle connection to
         another thread does not restart the clock.
         """
+        span = current_span().child("pool.acquire", pool=self.label or "pool")
+        with span:
+            backend = self._acquire(timeout, min_lsn)
+            if self._replay:
+                span.annotate(lsn=self.connection_lsn(backend))
+            return backend
+
+    def _acquire(
+        self, timeout: Optional[float], min_lsn: Optional[int]
+    ) -> StorageBackend:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._available:
             waited = False
@@ -248,10 +263,14 @@ class ConnectionPool:
         head = log.lsn
         if applied >= head:
             return
-        entries = log.entries_since(applied)
-        for entry in entries:
-            backend.apply(entry.changeset)
-            applied = entry.lsn
+        with current_span().child(
+            "pool.catchup", pool=self.label or "pool", from_lsn=applied
+        ) as span:
+            entries = log.entries_since(applied)
+            for entry in entries:
+                backend.apply(entry.changeset)
+                applied = entry.lsn
+            span.annotate(entries=len(entries), to_lsn=applied)
         with self._lock:
             self._clone_lsn[id(backend)] = applied
             self._catchups += 1
@@ -287,10 +306,18 @@ class ConnectionPool:
             elif not self._all and not self._closed:
                 self._closed = True
             self._available.notify()
+            remaining = len(self._all)
         if replacement is not None and not adopted and not replacement.closed:
             replacement.close()
         if not backend.closed:
             backend.close()
+        if self.events is not None:
+            self.events.record(
+                POOL_CLONE_REPLACED,
+                pool=self.label or "pool",
+                replaced=adopted,
+                remaining=remaining,
+            )
 
     def connection_lsn(self, backend: StorageBackend) -> int:
         """The mutation-log LSN a checked-out connection has applied."""

@@ -21,7 +21,6 @@ reformulations as a single ``UNION`` round trip) and returns the rows.
 from __future__ import annotations
 
 import threading
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -32,7 +31,28 @@ from ..core.reformulation import MarsReformulation
 from ..core.system import MarsSystem
 from ..errors import ReformulationError, StorageError
 from ..logical.queries import ConjunctiveQuery, UnionQuery
-from ..replica import ChangeSet, MutationLog, RebalanceReport, Rebalancer
+from ..obs import (
+    CostFeedback,
+    EventLog,
+    FingerprintFeedback,
+    MetricsRegistry,
+    NULL_TRACE,
+    REPLICA_FAILOVER,
+    REPLICA_FENCED,
+    SLOW_QUERY,
+    STATISTICS_REFRESH,
+    Tracer,
+    current_span,
+    timer,
+)
+from ..replica import (
+    ChangeSet,
+    MutationLog,
+    RebalanceReport,
+    Rebalancer,
+    ReplicatedBackend,
+    ReplicaStats,
+)
 from ..shard import RouterStats, ShardedBackend
 from ..storage.backends import StorageBackend
 from ..xbind.query import XBindQuery
@@ -121,6 +141,67 @@ class ServiceStats:
     statistics_refreshes: int = 0
     #: Completed online rebalances (shard splits/merges).
     rebalances: int = 0
+    #: Replica counters of the template backend on a replicated
+    #: deployment (``None`` elsewhere).
+    replicas: Optional[ReplicaStats] = None
+    #: Lifetime read failovers across the template *and* every pooled
+    #: clone (counted through the service event log).
+    replica_failovers: int = 0
+    #: Lifetime replica fences across the template and pooled clones.
+    replica_fenced: int = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """The stats as one JSON-able dict (the operator-facing view).
+
+        Surfaces the numbers operators act on directly, including the
+        router's ``cost_overrides`` (cost-based decisions that overturned
+        the rule-based routing default) and the replica failover/fence
+        counts.
+        """
+        data: Dict[str, object] = {
+            "queries_served": self.queries_served,
+            "reformulations_computed": self.reformulations_computed,
+            "updates_applied": self.updates_applied,
+            "last_write_lsn": self.last_write_lsn,
+            "statistics_refreshes": self.statistics_refreshes,
+            "rebalances": self.rebalances,
+            "replica_failovers": self.replica_failovers,
+            "replica_fenced": self.replica_fenced,
+            "cache": {
+                "entries": self.cache.current_size,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+                "evictions": self.cache.evictions,
+                "invalidations": self.cache.invalidations,
+            },
+            "pool": {
+                "size": self.pool.size,
+                "in_use": self.pool.in_use,
+                "checkouts": self.pool.checkouts,
+                "peak_in_use": self.pool.peak_in_use,
+                "rejections": self.pool.rejections,
+                "catchups": self.pool.catchups,
+            },
+        }
+        if self.router is not None:
+            data["router"] = {
+                "queries": self.router.queries,
+                "single_shard": self.router.single_shard,
+                "scatter": self.router.scatter,
+                "gather": self.router.gather,
+                "cost_based": self.router.cost_based,
+                "cost_overrides": self.router.cost_overrides,
+            }
+        if self.replicas is not None:
+            data["replicas"] = {
+                "replica_count": self.replicas.replica_count,
+                "live_replicas": self.replicas.live_replicas,
+                "failovers": self.replicas.failovers,
+                "fenced": self.replicas.fenced,
+                "selector": self.replicas.selector,
+            }
+        return data
 
 
 class PublishingService:
@@ -146,13 +227,44 @@ class PublishingService:
         max_waiters: Optional[int] = None,
         refresh_statistics: bool = True,
         drift_threshold: Optional[float] = 0.2,
+        tracing: bool = True,
+        slow_query_seconds: Optional[float] = None,
+        slow_query_sample: int = 1,
+        metrics_registry: Optional[MetricsRegistry] = None,
+        event_log_size: int = 1024,
     ):
         if strategy not in (STRATEGY_BEST, STRATEGY_UNION):
             raise ValueError(f"unknown execution strategy {strategy!r}")
+        if slow_query_sample < 1:
+            raise ValueError(
+                f"slow_query_sample must be >= 1, got {slow_query_sample}"
+            )
         self.configuration = configuration
         self.strategy = strategy
         self.checkout_timeout = checkout_timeout
         self.drift_threshold = drift_threshold
+        # Observability: the tracer hands each publish/update a span tree
+        # (the null trace when disabled), the registry is the common
+        # metrics substrate, the event log records state transitions
+        # stamped with the current write LSN, and the cost-feedback
+        # recorder closes the estimate-vs-actual loop.
+        self.tracer = Tracer(enabled=tracing)
+        self.registry = (
+            metrics_registry if metrics_registry is not None else MetricsRegistry()
+        )
+        self.events = EventLog(
+            maxlen=event_log_size, lsn_source=lambda: self._write_lsn
+        )
+        self.cost_feedback = CostFeedback()
+        #: Publishes at or over this many seconds enter the slow-query
+        #: log (``None`` disables it); of those, every *slow_query_sample*-th
+        #: is recorded (1 records them all).
+        self.slow_query_seconds = slow_query_seconds
+        self.slow_query_sample = slow_query_sample
+        self._slow_candidates = 0
+        #: The span tree of the most recent traced publish/update.
+        self.last_trace = NULL_TRACE
+        self._write_lsn = 0
         # The template backend must be usable from whichever thread calls
         # update() or rebalance(), so backends the service builds itself
         # are created thread-portable (an injected instance is trusted to
@@ -225,6 +337,7 @@ class PublishingService:
                     size=size,
                     max_waiters=max_waiters,
                     mutation_log=self.mutation_log,
+                    events=self.events,
                 )
         except Exception:
             # Don't leak the template connection when pooling fails (bad
@@ -245,7 +358,6 @@ class PublishingService:
         self._gate = _PublishGate()
         self._rebalance_lock = threading.Lock()
         self._rebalance_log: Optional[MutationLog] = None
-        self._write_lsn = 0
         self._updates_applied = 0
         self._statistics_refreshes = 0
         self._rebalances = 0
@@ -255,7 +367,134 @@ class PublishingService:
         self._drift_rows: Dict[str, float] = {}
         self._stats_rows: Dict[str, float] = {}
         self._reset_drift_baseline()
+        self._wire_event_log(self.executor.backend)
+        self._init_metrics()
         self._closed = False
+
+    def _wire_event_log(self, backend: object) -> None:
+        """Point every replicated layer at the service's event log.
+
+        Fencing and failover happen deep inside backends (including the
+        pooled clones, which inherit the log through ``clone()``), so the
+        log is installed recursively over the template's children.
+        """
+        setter = getattr(backend, "set_event_log", None)
+        if setter is not None:
+            setter(self.events)
+        for child in getattr(backend, "children", ()) or ():
+            self._wire_event_log(child)
+        for replica in getattr(backend, "replicas", ()) or ():
+            self._wire_event_log(replica)
+
+    def _init_metrics(self) -> None:
+        """Register the service's metric families (idempotent per registry)."""
+        registry = self.registry
+        self._m_publishes = registry.counter(
+            "mars_publishes_total", "publish() calls served"
+        )
+        self._m_publish_errors = registry.counter(
+            "mars_publish_errors_total", "publish() calls that raised"
+        )
+        self._m_published_rows = registry.counter(
+            "mars_published_rows_total", "rows returned by publish()"
+        )
+        self._m_publish_latency = registry.histogram(
+            "mars_publish_latency_seconds", "publish() wall-clock seconds"
+        )
+        self._m_updates = registry.counter(
+            "mars_updates_total", "change sets applied through update()"
+        )
+        self._m_update_latency = registry.histogram(
+            "mars_update_latency_seconds", "update() wall-clock seconds"
+        )
+        self._m_reformulations = registry.counter(
+            "mars_reformulations_total",
+            "C&B reformulations computed (plan-cache misses)",
+        )
+        self._m_slow = registry.counter(
+            "mars_slow_queries_total",
+            "publishes at or over the slow-query threshold",
+        )
+        self._m_feedback = registry.counter(
+            "mars_cost_feedback_samples_total",
+            "estimate-vs-actual samples recorded",
+        )
+        self._m_statistics_refreshes = registry.counter(
+            "mars_statistics_refreshes_total",
+            "statistics re-collections (drift, misestimation, rebalance)",
+        )
+        self._m_rebalances = registry.counter(
+            "mars_rebalances_total", "completed online rebalances"
+        )
+        self._m_rebalance_latency = registry.histogram(
+            "mars_rebalance_latency_seconds", "rebalance() wall-clock seconds"
+        )
+        # Export-time gauges bridging the *Stats snapshots (cache, pool,
+        # router, replica) into the registry without a second counter on
+        # any hot path.
+        self._g_cache_entries = registry.gauge(
+            "mars_plan_cache_entries", "plans currently cached"
+        )
+        self._g_cache_hit_ratio = registry.gauge(
+            "mars_plan_cache_hit_ratio", "lifetime plan-cache hit rate"
+        )
+        self._g_pool_size = registry.gauge(
+            "mars_pool_size_connections", "pooled connections (aggregate)"
+        )
+        self._g_pool_in_use = registry.gauge(
+            "mars_pool_in_use_connections", "connections checked out right now"
+        )
+        self._g_pool_checkouts = registry.gauge(
+            "mars_pool_checkouts_total", "lifetime pool checkouts"
+        )
+        self._g_pool_catchups = registry.gauge(
+            "mars_pool_catchups_total", "checkouts/checkins that replayed a log tail"
+        )
+        self._g_router_queries = registry.gauge(
+            "mars_router_queries_total", "queries the shard router decided"
+        )
+        self._g_router_cost_overrides = registry.gauge(
+            "mars_router_cost_overrides_total",
+            "cost-based routing decisions that overturned the rule default",
+        )
+        self._g_live_replicas = registry.gauge(
+            "mars_live_replicas", "replicas still serving on the template"
+        )
+        self._g_replica_failovers = registry.gauge(
+            "mars_replica_failovers_total",
+            "read failovers across template and pooled clones",
+        )
+        self._g_replica_fenced = registry.gauge(
+            "mars_replica_fenced_total",
+            "replicas fenced across template and pooled clones",
+        )
+        self._g_write_lsn = registry.gauge(
+            "mars_write_lsn", "highest acknowledged mutation-log LSN"
+        )
+
+        def collect() -> None:
+            if self._closed:
+                return
+            try:
+                stats = self.stats()
+            except Exception:
+                return
+            self._g_cache_entries.set(stats.cache.current_size)
+            self._g_cache_hit_ratio.set(stats.cache.hit_rate)
+            self._g_pool_size.set(stats.pool.size)
+            self._g_pool_in_use.set(stats.pool.in_use)
+            self._g_pool_checkouts.set(stats.pool.checkouts)
+            self._g_pool_catchups.set(stats.pool.catchups)
+            if stats.router is not None:
+                self._g_router_queries.set(stats.router.queries)
+                self._g_router_cost_overrides.set(stats.router.cost_overrides)
+            if stats.replicas is not None:
+                self._g_live_replicas.set(stats.replicas.live_replicas)
+            self._g_replica_failovers.set(stats.replica_failovers)
+            self._g_replica_fenced.set(stats.replica_fenced)
+            self._g_write_lsn.set(stats.last_write_lsn)
+
+        registry.add_collector(collect)
 
     def _build_shard_pools(
         self, template: ShardedBackend
@@ -273,6 +512,7 @@ class PublishingService:
                         max_waiters=self._max_waiters,
                         label=f"shard-{index}",
                         mutation_log=log,
+                        events=self.events,
                     )
                 )
                 logs.append(log)
@@ -311,16 +551,51 @@ class PublishingService:
     def reformulate(self, query: XBindQuery) -> MarsReformulation:
         """The (possibly cached) reformulation the service would execute."""
         cache = self.plan_cache
+        # Spans are grafted after the fact (add_phase on the measured
+        # durations) rather than entered: nothing below needs the ambient
+        # span, and a cache hit — the steady-state path — then costs one
+        # span, not a context-managed subtree.
+        parent = current_span()
         with self._reformulate_lock:
             # Read the miss counter on both sides of the call while still
             # holding the lock: read outside it, another thread's concurrent
             # miss would be misattributed to this call.
             before = cache.misses
+            clock = timer()
             reformulation = self.system.reformulate(query)
+            seconds = clock.stop()
             missed = cache.misses != before
+        offset = clock.started - parent.start
         if missed:
+            span = parent.add_phase(
+                "reformulate", seconds, offset=offset,
+                query=query.name, cache_hit=False,
+            )
+            # Graft the C&B engine's own phase readings into the tree
+            # instead of re-timing them; whatever the engine did not
+            # account for (cache probe, plan assembly) leads the span.
+            chase_seconds = reformulation.time_to_universal_plan
+            overhead = max(0.0, seconds - reformulation.time_to_best)
+            span.add_phase("plan_cache.lookup", overhead, hit=False)
+            span.add_phase("chase", chase_seconds, offset=overhead)
+            span.add_phase(
+                "backchase.initial",
+                max(0.0, reformulation.time_to_initial - chase_seconds),
+                offset=overhead + chase_seconds,
+            )
+            span.add_phase(
+                "backchase.minimize",
+                reformulation.minimization_time,
+                offset=overhead + reformulation.time_to_initial,
+            )
             with self._counter_lock:
                 self._reformulations_computed += 1
+            self._m_reformulations.inc()
+        else:
+            parent.add_phase(
+                "plan_cache.lookup", seconds, offset=offset,
+                query=query.name, hit=True,
+            )
         return reformulation
 
     def warm(self, queries: Sequence[XBindQuery]) -> int:
@@ -384,9 +659,20 @@ class PublishingService:
             with self.pool.connection(
                 timeout=self.checkout_timeout, min_lsn=self._write_lsn
             ) as backend:
-                return self._execute_on(backend, plan, distinct)
+                with current_span().child(
+                    "execute", engine=backend.backend_name
+                ) as span:
+                    rows = self._execute_on(backend, plan, distinct)
+                    span.annotate(rows=len(rows))
+                    return rows
         template = self.executor.backend
-        route = template.route_plan(plan)
+        with current_span().child("route") as route_span:
+            route = template.route_plan(plan)
+            route_span.annotate(
+                disjuncts=len(route.decisions),
+                modes=[decision.mode for _q, decision in route.decisions],
+                shards=sorted(route.needed_shards),
+            )
         acquired: List[Tuple[int, StorageBackend]] = []
         try:
             children = {}
@@ -397,7 +683,10 @@ class PublishingService:
                 )
                 acquired.append((shard, connection))
                 children[shard] = connection
-            return template.execute_routed(route, plan, distinct, children)
+            with current_span().child("execute") as span:
+                rows = template.execute_routed(route, plan, distinct, children)
+                span.annotate(rows=len(rows))
+                return rows
         finally:
             for shard, connection in acquired:
                 self.shard_pools[shard].release(connection)
@@ -407,17 +696,94 @@ class PublishingService:
         query: XBindQuery,
         distinct: bool = True,
         strategy: Optional[str] = None,
+        trace: bool = False,
     ) -> List[Row]:
-        """Reformulate (or hit the plan cache) and execute *query*; return rows."""
+        """Reformulate (or hit the plan cache) and execute *query*; return rows.
+
+        Every call is timed into ``mars_publish_latency_seconds`` and its
+        outcome fed to the cost-feedback recorder; with tracing enabled
+        (or *trace* forcing it for this call) the span tree is kept on
+        :attr:`last_trace`.
+        """
+        rows, _ = self._publish_traced(query, distinct, strategy, trace)
+        return rows
+
+    def _publish_traced(
+        self,
+        query: XBindQuery,
+        distinct: bool,
+        strategy: Optional[str],
+        trace: bool,
+    ):
         if self._closed:
             raise StorageError("PublishingService is closed")
         effective = self._check_strategy(strategy, distinct)
-        with self._gate.read():
-            plan = self.plan_for(self.reformulate(query), strategy=effective)
-            rows = self._run_plan(plan, distinct)
+        tracked = self.tracer.trace(
+            "publish", force=trace, query=query.name, strategy=effective
+        )
+        clock = timer()
+        try:
+            with tracked.root:
+                with self._gate.read():
+                    reformulation = self.reformulate(query)
+                    plan = self.plan_for(reformulation, strategy=effective)
+                    exec_clock = timer()
+                    rows = self._run_plan(plan, distinct)
+                    exec_seconds = exec_clock.stop()
+        except Exception:
+            self._m_publish_errors.inc()
+            raise
+        seconds = clock.stop()
         with self._counter_lock:
             self._queries_served += 1
-        return rows
+        self._m_publishes.inc()
+        self._m_published_rows.inc(len(rows))
+        self._m_publish_latency.observe(seconds)
+        self._record_feedback(query, reformulation, plan, len(rows), exec_seconds)
+        self._note_slow(query, seconds, len(rows))
+        if tracked.enabled:
+            tracked.root.annotate(rows=len(rows))
+            self.last_trace = tracked
+        return rows, tracked
+
+    def _record_feedback(
+        self, query, reformulation, plan, actual_rows: int, seconds: float
+    ) -> None:
+        """Feed one execution's outcome to the cost-feedback recorder."""
+        estimate = reformulation.cost_estimate
+        if estimate is None:
+            return
+        self.cost_feedback.record(
+            fingerprint=query.fingerprint(),
+            plan_name=getattr(plan, "name", ""),
+            estimated_rows=getattr(estimate, "cardinality", 0.0),
+            estimated_cost=getattr(estimate, "total", 0.0),
+            actual_rows=actual_rows,
+            actual_seconds=seconds,
+        )
+        self._m_feedback.inc()
+
+    def _note_slow(self, query, seconds: float, rows: int) -> None:
+        """Count a slow publish; sample every Nth into the event log."""
+        threshold = self.slow_query_seconds
+        if threshold is None or seconds < threshold:
+            return
+        self._m_slow.inc()
+        with self._counter_lock:
+            self._slow_candidates += 1
+            sampled = (self._slow_candidates - 1) % self.slow_query_sample == 0
+        if sampled:
+            self.events.record(
+                SLOW_QUERY,
+                query=query.name,
+                seconds=seconds,
+                rows=rows,
+                threshold=threshold,
+            )
+
+    def slow_queries(self):
+        """The sampled slow-query events retained in the event log."""
+        return self.events.events(SLOW_QUERY)
 
     def publish_many(
         self,
@@ -478,34 +844,46 @@ class PublishingService:
             raise StorageError("PublishingService is closed")
         if changeset.is_empty():
             return self._write_lsn
-        if self.pool is not None:
-            # One mutation log: the append is atomic, so concurrent
-            # publishes (fellow gate readers) see the whole change set or
-            # none of it when they sync to the log head.
-            with self._gate.read():
-                with self._write_lock:
-                    self.executor.backend.apply(changeset)
-                    lsn = self.mutation_log.append(changeset)
-                    refresh = self._finish_update(changeset, lsn)
-        else:
-            # Per-shard logs: a change set spanning shards would otherwise
-            # be observable half-applied (a publish syncs each shard's
-            # pool independently), so cross-shard visibility is made
-            # atomic by taking the gate exclusively — publishes drain,
-            # every shard applies and appends, publishes resume.
-            with self._gate.write():
-                with self._write_lock:
-                    template = self.executor.backend
-                    routed = template.route_changeset(changeset)
-                    for shard, sub in sorted(routed.items()):
-                        template.children[shard].apply(sub)
-                        self.shard_logs[shard].append(sub)
-                    lsn = self._write_lsn + 1
-                    refresh = self._finish_update(changeset, lsn)
+        tracked = self.tracer.trace("update", changes=len(changeset.changes))
+        clock = timer()
+        with tracked.root as root:
+            if self.pool is not None:
+                # One mutation log: the append is atomic, so concurrent
+                # publishes (fellow gate readers) see the whole change set or
+                # none of it when they sync to the log head.
+                with self._gate.read():
+                    with self._write_lock:
+                        with root.child("apply"):
+                            self.executor.backend.apply(changeset)
+                        with root.child("log.append"):
+                            lsn = self.mutation_log.append(changeset)
+                        refresh = self._finish_update(changeset, lsn)
+            else:
+                # Per-shard logs: a change set spanning shards would otherwise
+                # be observable half-applied (a publish syncs each shard's
+                # pool independently), so cross-shard visibility is made
+                # atomic by taking the gate exclusively — publishes drain,
+                # every shard applies and appends, publishes resume.
+                with self._gate.write():
+                    with self._write_lock:
+                        template = self.executor.backend
+                        routed = template.route_changeset(changeset)
+                        for shard, sub in sorted(routed.items()):
+                            with root.child("apply", shard=shard):
+                                template.children[shard].apply(sub)
+                            with root.child("log.append", shard=shard):
+                                self.shard_logs[shard].append(sub)
+                        lsn = self._write_lsn + 1
+                        refresh = self._finish_update(changeset, lsn)
+            root.annotate(lsn=lsn)
+        self._m_updates.inc()
+        self._m_update_latency.observe(clock.stop())
+        if tracked.enabled:
+            self.last_trace = tracked
         if refresh:
             # Outside the gate: collecting statistics sweeps every table
             # and must not hold publishes (or a waiting rebalance) up.
-            self._refresh_statistics()
+            self._refresh_statistics(reason="drift")
         return lsn
 
     def _finish_update(self, changeset: ChangeSet, lsn: int) -> bool:
@@ -531,7 +909,7 @@ class PublishingService:
                 triggered = True
         return triggered
 
-    def _refresh_statistics(self) -> None:
+    def _refresh_statistics(self, reason: str = "drift") -> None:
         """Re-collect statistics and re-rank plans (flushes the plan cache)."""
         catalog = self.executor.collect_statistics()
         with self._reformulate_lock:
@@ -539,6 +917,44 @@ class PublishingService:
         self._reset_drift_baseline(catalog)
         with self._counter_lock:
             self._statistics_refreshes += 1
+        self._m_statistics_refreshes.inc()
+        self.events.record(
+            STATISTICS_REFRESH,
+            reason=reason,
+            tables=len(getattr(catalog, "tables", None) or ()),
+        )
+
+    def misestimation_report(
+        self, min_samples: int = 1, q_threshold: float = 1.0
+    ) -> List[FingerprintFeedback]:
+        """Per-fingerprint estimate-vs-actual feedback, worst q-error first."""
+        return self.cost_feedback.report(
+            min_samples=min_samples, q_threshold=q_threshold
+        )
+
+    def refresh_if_misestimated(
+        self, q_threshold: float = 2.0, min_samples: int = 3
+    ) -> bool:
+        """Re-collect statistics when observed planning error is too large.
+
+        Consults the cost-feedback report: when any fingerprint with at
+        least *min_samples* executions shows a cardinality q-error of
+        *q_threshold* or worse, statistics are re-collected and attached
+        (flushing the plan cache) and the feedback aggregates are reset —
+        the same corrective action row-count drift triggers, driven by
+        observed misestimation instead of write volume.  Returns whether
+        a refresh ran.
+        """
+        if self._closed:
+            raise StorageError("PublishingService is closed")
+        report = self.cost_feedback.report(
+            min_samples=min_samples, q_threshold=q_threshold
+        )
+        if not report:
+            return False
+        self._refresh_statistics(reason="misestimation")
+        self.cost_feedback.clear()
+        return True
 
     # ------------------------------------------------------------------
     # Online rebalancing
@@ -568,10 +984,12 @@ class PublishingService:
                 "rebalance requires a sharded deployment "
                 f"(template backend is {type(template).__name__})"
             )
-        start = time.perf_counter()
+        clock = timer()
         with self._rebalance_lock:
             tee = MutationLog()
-            rebalancer = Rebalancer(template, shards=shards, children=children)
+            rebalancer = Rebalancer(
+                template, shards=shards, children=children, events=self.events
+            )
             with self._write_lock:
                 self._rebalance_log = tee
             try:
@@ -598,9 +1016,12 @@ class PublishingService:
             for child in old_children:
                 if not child.closed:
                     child.close()
-            self._refresh_statistics()
+            self._wire_event_log(template)
+            self._refresh_statistics(reason="rebalance")
             with self._counter_lock:
                 self._rebalances += 1
+        self._m_rebalances.inc()
+        self._m_rebalance_latency.observe(clock.elapsed)
         return RebalanceReport(
             old_shard_count=len(old_pools),
             new_shard_count=template.shard_count,
@@ -608,7 +1029,7 @@ class PublishingService:
             rows_copied=rebalancer.rows_copied,
             entries_replayed=rebalancer.entries_replayed,
             layout_version=template.layout_version,
-            seconds=time.perf_counter() - start,
+            seconds=clock.stop(),
         )
 
     # ------------------------------------------------------------------
@@ -622,6 +1043,12 @@ class PublishingService:
             refreshes = self._statistics_refreshes
             rebalances = self._rebalances
         write_lsn = self._write_lsn
+        template = self.executor.backend
+        replicas = (
+            template.stats() if isinstance(template, ReplicatedBackend) else None
+        )
+        failovers = self.events.count(REPLICA_FAILOVER)
+        fenced = self.events.count(REPLICA_FENCED)
         if self.pool is not None:
             return ServiceStats(
                 queries_served=served,
@@ -632,6 +1059,9 @@ class PublishingService:
                 last_write_lsn=write_lsn,
                 statistics_refreshes=refreshes,
                 rebalances=rebalances,
+                replicas=replicas,
+                replica_failovers=failovers,
+                replica_fenced=fenced,
             )
         per_shard = tuple(pool.stats() for pool in self.shard_pools)
         aggregate = PoolStats(
@@ -658,7 +1088,70 @@ class PublishingService:
             last_write_lsn=write_lsn,
             statistics_refreshes=refreshes,
             rebalances=rebalances,
+            replica_failovers=failovers,
+            replica_fenced=fenced,
         )
+
+    def metrics(self, fmt: str = "prometheus") -> str:
+        """The metrics exposition: Prometheus text or JSON.
+
+        ``fmt="prometheus"`` renders the text format (version 0.0.4) a
+        scrape endpoint serves; ``fmt="json"`` the same data — including
+        interpolated p50/p95/p99 per histogram — as a JSON document.
+        Export runs the registered collectors, so gauges reflect the
+        *Stats snapshots at call time.
+        """
+        if fmt == "prometheus":
+            return self.registry.render_prometheus()
+        if fmt == "json":
+            return self.registry.to_json()
+        raise ValueError(
+            f"unknown metrics format {fmt!r} (use 'prometheus' or 'json')"
+        )
+
+    def explain(
+        self,
+        query: XBindQuery,
+        distinct: bool = True,
+        strategy: Optional[str] = None,
+        trace: bool = False,
+    ) -> str:
+        """The plan the service would run for *query*, as text.
+
+        Shows the (possibly cached) reformulation, the ranked candidate
+        costs and the backend's own explanation.  With *trace* the query
+        is actually published once with tracing forced on, and the
+        resulting span tree is appended (and kept on :attr:`last_trace`
+        for JSON export).
+        """
+        if self._closed:
+            raise StorageError("PublishingService is closed")
+        effective = self._check_strategy(strategy, distinct)
+        with self._gate.read():
+            reformulation = self.reformulate(query)
+            plan = self.plan_for(reformulation, strategy=effective)
+            lines = [
+                f"query {query.name}: plan "
+                f"{getattr(plan, 'name', '?')} (strategy={effective})"
+            ]
+            if reformulation.candidate_costs:
+                ranked = ", ".join(
+                    f"{name}={cost:.1f}"
+                    for name, cost in reformulation.candidate_costs
+                )
+                lines.append(f"  candidates: {ranked}")
+            explain = getattr(self.executor.backend, "explain", None)
+            if explain is not None:
+                lines.extend(
+                    "  " + line for line in explain(plan).splitlines()
+                )
+        if trace:
+            _rows, tracked = self._publish_traced(
+                query, distinct, effective, True
+            )
+            lines.append("")
+            lines.append(tracked.render())
+        return "\n".join(lines)
 
     @property
     def closed(self) -> bool:

@@ -36,6 +36,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from ..errors import EvaluationError, SchemaError, StorageError
 from ..logical.queries import ConjunctiveQuery, UnionQuery
+from ..obs.trace import current_span
 from ..storage.backends.base import Query, Row, StorageBackend, create_backend
 from ..storage.backends.memory import MemoryBackend
 from .executor import ScatterGatherExecutor, merge_rows
@@ -479,7 +480,14 @@ class ShardedBackend(StorageBackend):
         return self.router.route_plan(plan)
 
     def execute(self, query: Query, distinct: bool = True) -> List[Row]:
-        return self.execute_routed(self.route_plan(query), query, distinct)
+        with current_span().child("route") as span:
+            plan = self.route_plan(query)
+            span.annotate(
+                disjuncts=len(plan.decisions),
+                modes=[decision.mode for _q, decision in plan.decisions],
+                shards=sorted(plan.needed_shards),
+            )
+        return self.execute_routed(plan, query, distinct)
 
     def execute_union(self, union: Query, distinct: bool = True) -> List[Row]:
         """Unions route per disjunct; see :meth:`execute`."""
@@ -503,6 +511,10 @@ class ShardedBackend(StorageBackend):
         engines: Mapping[int, StorageBackend] = (
             children if children is not None else dict(enumerate(self._children))
         )
+        # The ambient span is thread-local; capture it here so the task
+        # closures below can parent their per-shard spans from the
+        # scatter/gather worker threads.
+        parent = current_span()
         is_union = isinstance(query, UnionQuery)
         if (
             is_union
@@ -519,13 +531,18 @@ class ShardedBackend(StorageBackend):
         per_disjunct: List[List[Row]] = []
         for disjunct, decision in plan.decisions:
             if decision.mode == MODE_GATHER:
-                rows = self._execute_gather(decision, disjunct, distinct, engines)
+                with parent.child(
+                    "shard.gather", shards=sorted(decision.shards)
+                ):
+                    rows = self._execute_gather(
+                        decision, disjunct, distinct, engines
+                    )
             else:
                 tasks = [
                     (
                         shard,
-                        lambda shard=shard: engines[shard].execute(
-                            disjunct, distinct=distinct
+                        lambda shard=shard: self._traced_shard_execute(
+                            parent, shard, engines[shard], disjunct, distinct
                         ),
                     )
                     for shard in decision.shards
@@ -534,12 +551,28 @@ class ShardedBackend(StorageBackend):
                 with self._stats_lock:
                     for shard in decision.shards:
                         self._executions[shard] += 1
-                rows = merge_rows(results, distinct)
+                with parent.child("merge", inputs=len(results)) as merge_span:
+                    rows = merge_rows(results, distinct)
+                    merge_span.annotate(rows=len(rows))
             per_disjunct.append(rows)
         if not is_union:
             return per_disjunct[0]
         # Same set/bag semantics as the per-shard merge, across disjuncts.
-        return merge_rows(list(enumerate(per_disjunct)), distinct)
+        with parent.child(
+            "merge", inputs=len(per_disjunct), union=True
+        ) as merge_span:
+            rows = merge_rows(list(enumerate(per_disjunct)), distinct)
+            merge_span.annotate(rows=len(rows))
+        return rows
+
+    @staticmethod
+    def _traced_shard_execute(parent, shard, engine, disjunct, distinct):
+        with parent.child(
+            "shard.execute", shard=shard, engine=engine.backend_name
+        ) as span:
+            rows = engine.execute(disjunct, distinct=distinct)
+            span.annotate(rows=len(rows))
+            return rows
 
     def _execute_gather(
         self,

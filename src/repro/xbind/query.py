@@ -33,6 +33,7 @@ class XBindQuery:
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "head", tuple(head))
         object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "_fingerprint", None)
 
     # ------------------------------------------------------------------
     @property
@@ -89,7 +90,13 @@ class XBindQuery:
         the query name — share a fingerprint.  The plan cache of the
         publishing service keys reformulations on this, letting repeated
         client queries skip the C&B engine entirely.
+
+        Computed once and cached: the query is frozen, and both the plan
+        cache and the cost-feedback recorder ask for it on every publish.
         """
+        cached = self._fingerprint
+        if cached is not None:
+            return cached
         numbering: Dict[Variable, int] = {}
 
         def term_key(item: Optional[Term]) -> Optional[Tuple]:
@@ -125,7 +132,9 @@ class XBindQuery:
                 body.append(("neq", term_key(atom.left), term_key(atom.right)))
             else:  # future atom kinds: fall back to their repr
                 body.append(("atom", repr(atom)))
-        return (head, tuple(body))
+        result = (head, tuple(body))
+        object.__setattr__(self, "_fingerprint", result)
+        return result
 
     # ------------------------------------------------------------------
     def substitute(self, mapping: Mapping[Term, Term]) -> "XBindQuery":

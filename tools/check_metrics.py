@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Lint metric-name literals in the source tree.
+
+Usage:  python tools/check_metrics.py [SRC_DIR ...]   (default: src/)
+
+Finds every ``registry.counter("...")`` / ``.gauge("...")`` /
+``.histogram("...")`` registration in the given source trees and checks,
+without importing the modules under lint:
+
+* the name passes :func:`repro.obs.metrics.validate_metric_name` —
+  ``snake_case`` and a known unit suffix (counters must end ``_total``);
+* the name is registered at exactly **one** callsite — two subsystems
+  silently sharing (or shadowing) a series is a dashboard lie.
+
+The validator and :data:`~repro.obs.metrics.ALLOWED_UNIT_SUFFIXES` are
+imported from the package itself, so this lint and the runtime
+registration checks can never disagree.  Exits non-zero listing every
+failure.  Stdlib only — this runs in the CI docs-lint leg next to
+``tools/check_links.py``.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.metrics import ALLOWED_UNIT_SUFFIXES, validate_metric_name  # noqa: E402
+
+#: A registration call with a literal name: ``<anything>.counter("name"``.
+#: Multi-line calls are fine — the name is the first argument by
+#: convention (and by the registry's signature).
+REGISTRATION = re.compile(
+    r"\.\s*(counter|gauge|histogram)\(\s*[\"']([^\"']+)[\"']"
+)
+
+#: Names in doctests/docstrings are examples, not registrations; they are
+#: still name-checked (examples must model the convention) but exempt
+#: from the registered-once rule.
+EXAMPLE_PREFIXES = ("demo_", "example_")
+
+
+def scan(root: Path):
+    """Yield ``(path, line_number, kind, name)`` for every registration."""
+    for path in sorted(root.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in REGISTRATION.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            yield path, line, match.group(1), match.group(2)
+
+
+def main(arguments) -> int:
+    roots = [Path(name) for name in arguments] or [
+        Path(__file__).resolve().parent.parent / "src"
+    ]
+    failures = []
+    seen = {}
+    total = 0
+    for root in roots:
+        if not root.exists():
+            print(f"{root}: directory not found", file=sys.stderr)
+            return 2
+        for path, line, kind, name in scan(root):
+            total += 1
+            where = f"{path}:{line}"
+            try:
+                validate_metric_name(name, kind)
+            except ValueError as error:
+                failures.append(f"{where}: {error}")
+                continue
+            if name.startswith(EXAMPLE_PREFIXES):
+                continue
+            if name in seen and seen[name] != where:
+                failures.append(
+                    f"{where}: metric {name!r} already registered at "
+                    f"{seen[name]} — one series, one owner"
+                )
+            else:
+                seen.setdefault(name, where)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(
+            f"{len(failures)} metric-name violation(s) in {total} "
+            f"registration(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"checked {total} metric registration(s) across "
+        f"{len(roots)} tree(s): all names are snake_case, unit-suffixed "
+        f"({', '.join(ALLOWED_UNIT_SUFFIXES)}) and uniquely owned"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -18,6 +18,7 @@ reformulation may use, and cardinality statistics for the cost estimator.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -80,6 +81,18 @@ class MarsConfiguration:
         # pooled connections to hand out and how many cached plans to keep.
         self.pool_size: int = 4
         self.plan_cache_size: int = 128
+        # Durability of the write path.  With log_dir set (or the
+        # MARS_LOG_DIR environment variable), the service spools its
+        # mutation log(s) to append-only segment files under that
+        # directory and recovers acknowledged updates from them on
+        # restart; None keeps the log in memory (updates die with the
+        # process).  log_fsync picks the flush policy per appended record
+        # ("always" survives power loss, "off" survives process death);
+        # log_segment_bytes caps a segment file before it is sealed and
+        # becomes eligible for checkpoint-gated compaction.
+        self.log_dir: Optional[str] = os.environ.get("MARS_LOG_DIR") or None
+        self.log_fsync: str = "always"
+        self.log_segment_bytes: int = 1 << 20
         # Monotonic declaration version.  Every mutation of the schema
         # correspondence (views, constraints, relations) bumps it; the plan
         # cache keys on it, and MarsSystem recompiles its derived artifacts

@@ -27,6 +27,8 @@ schema.
 from .events import (
     Event,
     EventLog,
+    LOG_CHECKPOINT,
+    LOG_RECOVERED,
     POOL_CLONE_REPLACED,
     REBALANCE_COPY,
     REBALANCE_CUTOVER,
@@ -34,6 +36,7 @@ from .events import (
     REBALANCE_STAGE,
     REPLICA_FAILOVER,
     REPLICA_FENCED,
+    REPLICA_REPAIRED,
     SLOW_QUERY,
     STATISTICS_REFRESH,
 )
@@ -60,6 +63,8 @@ __all__ = [
     "FingerprintFeedback",
     "Gauge",
     "Histogram",
+    "LOG_CHECKPOINT",
+    "LOG_RECOVERED",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACE",
@@ -70,6 +75,7 @@ __all__ = [
     "REBALANCE_STAGE",
     "REPLICA_FAILOVER",
     "REPLICA_FENCED",
+    "REPLICA_REPAIRED",
     "SLOW_QUERY",
     "STATISTICS_REFRESH",
     "Span",

@@ -13,7 +13,11 @@ free-form structured details.
 The log is a bounded ring (default 1024 events): production services run
 forever and an unbounded event history is a slow leak, while the most
 recent window is what an operator pages through.  ``events()`` filters by
-kind, ``to_dicts()``/``to_json()`` export for shipping.
+kind, ``to_dicts()``/``to_json()`` export for shipping.  Recording never
+raises into the serving path: an event that cannot be assembled (e.g. the
+``lsn_source`` callback failing mid-teardown) is dropped and counted in
+:attr:`EventLog.dropped`, surfaced through service stats and the
+``mars_events_dropped_total`` metric.
 """
 
 from __future__ import annotations
@@ -37,6 +41,9 @@ REBALANCE_COPY = "rebalance.copy"
 REBALANCE_REPLAY = "rebalance.replay"
 REBALANCE_CUTOVER = "rebalance.cutover"
 SLOW_QUERY = "query.slow"
+REPLICA_REPAIRED = "replica.repaired"
+LOG_RECOVERED = "log.recovered"
+LOG_CHECKPOINT = "log.checkpoint"
 
 
 @dataclass(frozen=True)
@@ -84,24 +91,35 @@ class EventLog:
         self._lock = threading.Lock()
         self._events: Deque[Event] = deque(maxlen=maxlen)
         self._sequence = 0
+        self._dropped = 0
         self._recorded_per_kind: Dict[str, int] = {}
         self.lsn_source = lsn_source
 
     def record(
         self, kind: str, lsn: Optional[int] = None, **details: Any
-    ) -> Event:
-        """Append one event; returns the stamped record."""
-        if lsn is None and self.lsn_source is not None:
-            try:
+    ) -> Optional[Event]:
+        """Append one event; returns the stamped record.
+
+        Recording must never take the serving path down: a failure anywhere
+        while assembling the record (most likely the ``lsn_source``
+        callback raising mid-teardown) drops the event — but *counted*, in
+        :attr:`dropped`, never silently.  Returns ``None`` for a dropped
+        event.
+        """
+        try:
+            if lsn is None and self.lsn_source is not None:
                 lsn = self.lsn_source()
-            except Exception:
-                lsn = None
+            timestamp = now()
+        except Exception:
+            with self._lock:
+                self._dropped += 1
+            return None
         with self._lock:
             self._sequence += 1
             event = Event(
                 sequence=self._sequence,
                 kind=kind,
-                timestamp=now(),
+                timestamp=timestamp,
                 lsn=lsn,
                 details=details,
             )
@@ -110,6 +128,12 @@ class EventLog:
                 self._recorded_per_kind.get(kind, 0) + 1
             )
             return event
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because recording them failed (lifetime count)."""
+        with self._lock:
+            return self._dropped
 
     def events(self, kind: Optional[str] = None) -> Tuple[Event, ...]:
         """The retained events in order, optionally filtered by *kind*."""

@@ -81,6 +81,7 @@ ALLOWED_UNIT_SUFFIXES: Tuple[str, ...] = (
     "_shards",
     "_plans",
     "_lsn",
+    "_segments",
 )
 
 _NAME = re.compile(r"^[a-z][a-z0-9_]*$")

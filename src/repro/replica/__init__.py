@@ -12,7 +12,14 @@ The read-only reproduction becomes an *updatable, redundant* one:
   writes applied to every live replica (failed writers are fenced);
 * :mod:`~repro.replica.rebalancer` — :class:`Rebalancer`: online shard
   split/merge by fragment snapshot + mutation-log tail replay + atomic
-  partition-map swap (``ShardedBackend.adopt_layout``).
+  partition-map swap (``ShardedBackend.adopt_layout``);
+* :mod:`~repro.replica.durable` — :class:`DurableMutationLog`: the same
+  log spooled to append-only segment files with per-segment indexes,
+  crash recovery with torn-tail truncation, checkpoint-gated
+  segment-granular compaction;
+* :mod:`~repro.replica.repair` — :class:`ReplicaRepairer` and
+  :class:`RepairLoop`: detect fenced/dead replicas and re-provision them
+  online from a live copy plus the log tail, restoring K.
 
 ``PublishingService`` wires all three into serving:
 ``update(changeset)`` is the live write path with a read-your-writes LSN
@@ -22,7 +29,9 @@ reads.
 
 from .backend import ReplicatedBackend, ReplicaStats, default_replica_count
 from .changeset import ChangeSet, LogEntry, MutationLog, TableChange
+from .durable import DurableLogStats, DurableMutationLog, restore_snapshot
 from .rebalancer import RebalanceReport, Rebalancer
+from .repair import RepairLoop, RepairReport, ReplicaRepairer
 from .selector import (
     LeastLoadedSelector,
     ReplicaSelector,
@@ -32,11 +41,16 @@ from .selector import (
 
 __all__ = [
     "ChangeSet",
+    "DurableLogStats",
+    "DurableMutationLog",
     "LeastLoadedSelector",
     "LogEntry",
     "MutationLog",
     "RebalanceReport",
     "Rebalancer",
+    "RepairLoop",
+    "RepairReport",
+    "ReplicaRepairer",
     "ReplicaSelector",
     "ReplicaStats",
     "ReplicatedBackend",
@@ -44,4 +58,5 @@ __all__ = [
     "TableChange",
     "create_selector",
     "default_replica_count",
+    "restore_snapshot",
 ]

@@ -85,6 +85,9 @@ class ReplicaStats:
     writes_applied: int
     #: Replicas fenced (closed) because a write failed on them.
     fenced: int
+    #: Dead replicas replaced with freshly provisioned copies
+    #: (:meth:`ReplicatedBackend.adopt_replica`).
+    repaired: int
     selector: str
 
 
@@ -135,6 +138,7 @@ class ReplicatedBackend(StorageBackend):
         self._failovers = 0
         self._writes = 0
         self._fenced = 0
+        self._repairs = 0
         self._catalog = None
         self._closed = False
         #: Optional structured event log; the publishing service installs
@@ -350,6 +354,34 @@ class ReplicatedBackend(StorageBackend):
                 error=str(error),
             )
 
+    def adopt_replica(self, index: int, replacement: StorageBackend) -> None:
+        """Swap the dead replica at *index* for a provisioned *replacement*.
+
+        The repairer (:class:`~repro.replica.repair.ReplicaRepairer`)
+        calls this as its cutover step, after *replacement* has been
+        brought differentially identical to the live copies.  The slot
+        must currently hold a closed (fenced/killed) replica — adopting
+        over a live copy would discard acknowledged state — and the
+        replacement must itself be open.
+        """
+        self._require_open()
+        if replacement.closed:
+            raise StorageError("cannot adopt a closed replacement replica")
+        with self._lock:
+            if not 0 <= index < len(self._replicas):
+                raise StorageError(
+                    f"replica index {index} out of range "
+                    f"(0..{len(self._replicas) - 1})"
+                )
+            old = self._replicas[index]
+            if not old.closed:
+                raise StorageError(
+                    f"replica {index} is still live; only dead replicas "
+                    "can be replaced"
+                )
+            self._replicas[index] = replacement
+            self._repairs += 1
+
     def create_table(
         self, name: str, arity: int, attributes: Optional[Sequence[str]] = None
     ) -> None:
@@ -385,6 +417,7 @@ class ReplicatedBackend(StorageBackend):
             failovers = self._failovers
             writes = self._writes
             fenced = self._fenced
+            repaired = self._repairs
         live = sum(1 for replica in self._replicas if not replica.closed)
         return ReplicaStats(
             replica_count=self.replica_count,
@@ -393,6 +426,7 @@ class ReplicatedBackend(StorageBackend):
             failovers=failovers,
             writes_applied=writes,
             fenced=fenced,
+            repaired=repaired,
             selector=self.selector.name,
         )
 
@@ -463,6 +497,7 @@ class ReplicatedBackend(StorageBackend):
         clone._failovers = 0
         clone._writes = 0
         clone._fenced = 0
+        clone._repairs = 0
         clone._catalog = self._catalog
         clone._closed = False
         clone.events = self.events

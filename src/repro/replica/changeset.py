@@ -211,3 +211,11 @@ class MutationLog:
             self._entries = self._entries[dropped:]
             self._floor = through_lsn
             return dropped
+
+    def close(self) -> None:
+        """Release any resources the log holds; a no-op in memory.
+
+        The durable subclass overrides this to seal its active segment
+        and close its file handle; callers (the publishing service) close
+        whichever log they were given without caring which kind it is.
+        """

@@ -1,0 +1,253 @@
+"""Replica repair: restore K copies after a replica is fenced or dies.
+
+Fencing (:mod:`~repro.replica.backend`) keeps a replicated store *correct*
+after a failure — a copy that may have missed a write never serves reads
+again — but it leaves the store *degraded*: every fenced replica is one
+less copy between the deployment and total data loss.  Before this module
+the only way back to K was a full service rebuild.
+
+The :class:`ReplicaRepairer` re-provisions dead replicas online, in the
+same snapshot-plus-log-replay shape as the
+:class:`~repro.replica.rebalancer.Rebalancer`:
+
+1. **Snapshot** — under the caller's brief write pause, clone a live
+   replica and note the mutation-log LSN at that instant.  The clone is
+   the replacement's base state.
+2. **Replay** — writes keep landing while the (potentially large) clone
+   settles; outside the pause the repairer replays the log tail above the
+   snapshot LSN into the replacement.
+3. **Cutover** — under the pause again, replay whatever tail remains and
+   :meth:`~repro.replica.backend.ReplicatedBackend.adopt_replica` the
+   replacement into the dead slot.  From the next write on, the store is
+   back at K live copies, differentially identical to the survivors.
+
+Engines whose clones are *not* snapshots (a file-backed SQLite replica
+clones into the same database file) skip the replay: their replacement
+sees every subsequent write through the shared file already, and replaying
+would double-apply.
+
+:class:`RepairLoop` is the failure detector: a daemon thread that
+periodically runs a repair check (the publishing service wires it to its
+``repair_replicas``) so a killed replica heals without an operator.  Each
+repair is recorded as a ``replica.repaired`` event, LSN-stamped.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import StorageError
+from ..obs.events import EventLog, REPLICA_REPAIRED
+from ..obs.timer import timer
+from .backend import ReplicatedBackend
+from .changeset import MutationLog
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What one repair pass did, for logs and assertions."""
+
+    #: Dead replica indices found at the start of the pass.
+    dead_replicas: Tuple[int, ...]
+    #: Indices actually restored to a live copy.
+    repaired: Tuple[int, ...]
+    rows_copied: int
+    entries_replayed: int
+    seconds: float
+
+
+class ReplicaRepairer:
+    """Re-provisions the dead replicas of one :class:`ReplicatedBackend`."""
+
+    def __init__(
+        self,
+        backend: ReplicatedBackend,
+        events: Optional[EventLog] = None,
+    ):
+        if not isinstance(backend, ReplicatedBackend):
+            raise StorageError(
+                "the repairer operates on a ReplicatedBackend "
+                f"(got {type(backend).__name__})"
+            )
+        self.backend = backend
+        self.events = events
+
+    def dead_replicas(self) -> Tuple[int, ...]:
+        """Indices of fenced/killed replicas (empty when at full strength)."""
+        return tuple(
+            index
+            for index, replica in enumerate(self.backend.replicas)
+            if replica.closed
+        )
+
+    def repair(
+        self,
+        index: int,
+        log: Optional[MutationLog] = None,
+        pause: Optional[Callable[[], object]] = None,
+    ) -> Tuple[int, int]:
+        """Restore the dead replica at *index* from a live copy.
+
+        *pause* is a zero-argument callable returning a context manager
+        (the service's write lock); ``None`` means no concurrent writers
+        exist.  *log* is the mutation log writes are teed into — without
+        it the snapshot alone must be current (writers paused for the
+        whole call).  Returns ``(rows_copied, entries_replayed)``.
+        """
+        backend = self.backend
+        dead = backend.replicas[index]
+        if not dead.closed:
+            raise StorageError(f"replica {index} is live; nothing to repair")
+
+        def paused():
+            return pause() if pause is not None else nullcontext()
+
+        # Snapshot: clone a live replica under the pause, stamped with the
+        # log LSN the clone contains.
+        with paused():
+            source = next(
+                (r for r in backend.replicas if not r.closed), None
+            )
+            if source is None:
+                raise StorageError(
+                    "cannot repair: no live replica remains to copy from"
+                )
+            snapshot_lsn = log.lsn if log is not None else 0
+            replacement = source.clone()
+        needs_replay = log is not None and source.clone_is_snapshot
+        try:
+            rows = sum(replacement.cardinalities().values())
+            replayed = 0
+            replayed_upto = snapshot_lsn
+            if needs_replay:
+                # Catch-up outside the pause: writers are live.
+                for entry in log.entries_since(replayed_upto):
+                    replacement.apply(entry.changeset)
+                    replayed_upto = entry.lsn
+                    replayed += 1
+            # Cutover: final replay + slot swap with writers still.
+            with paused():
+                if needs_replay:
+                    for entry in log.entries_since(replayed_upto):
+                        replacement.apply(entry.changeset)
+                        replayed_upto = entry.lsn
+                        replayed += 1
+                backend.adopt_replica(index, replacement)
+        except Exception:
+            if not replacement.closed:
+                replacement.close()
+            raise
+        if self.events is not None:
+            self.events.record(
+                REPLICA_REPAIRED,
+                lsn=replayed_upto if log is not None else None,
+                replica=index,
+                engine=replacement.backend_name,
+                rows_copied=rows,
+                entries_replayed=replayed,
+                live_replicas=sum(
+                    1 for r in backend.replicas if not r.closed
+                ),
+            )
+        return rows, replayed
+
+    def repair_all(
+        self,
+        log: Optional[MutationLog] = None,
+        pause: Optional[Callable[[], object]] = None,
+    ) -> RepairReport:
+        """Repair every dead replica; returns what happened.
+
+        A replica whose repair fails (e.g. the last live copy died
+        mid-clone) is left dead and excluded from ``repaired``; the pass
+        continues so one bad slot does not block the others, and the
+        final error is re-raised only when *nothing* could be repaired.
+        """
+        clock = timer()
+        dead = self.dead_replicas()
+        repaired: List[int] = []
+        rows_total = 0
+        entries_total = 0
+        last_error: Optional[Exception] = None
+        for index in dead:
+            try:
+                rows, replayed = self.repair(index, log=log, pause=pause)
+            except StorageError as error:
+                last_error = error
+                continue
+            repaired.append(index)
+            rows_total += rows
+            entries_total += replayed
+        if dead and not repaired and last_error is not None:
+            raise last_error
+        return RepairReport(
+            dead_replicas=dead,
+            repaired=tuple(repaired),
+            rows_copied=rows_total,
+            entries_replayed=entries_total,
+            seconds=clock.elapsed,
+        )
+
+
+class RepairLoop:
+    """A daemon thread running a repair check on a fixed interval.
+
+    *check* is any zero-argument callable (the publishing service passes
+    its ``repair_replicas``).  The loop never dies with the check: an
+    exception is counted in :attr:`errors` and the next tick proceeds —
+    a transient failure (every replica of a pool briefly closed during a
+    rebuild) must not disable self-healing forever.
+    """
+
+    def __init__(self, check: Callable[[], object], interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError(f"repair interval must be > 0, got {interval}")
+        self.check = check
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._ticks = 0
+        self._errors = 0
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise StorageError("RepairLoop.start() called twice")
+        self._thread = threading.Thread(
+            target=self._run, name="mars-repair-loop", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            with self._lock:
+                self._ticks += 1
+            try:
+                self.check()
+            except Exception:
+                with self._lock:
+                    self._errors += 1
+
+    def stop(self) -> None:
+        """Stop the loop and join the thread; idempotent."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def ticks(self) -> int:
+        with self._lock:
+            return self._ticks
+
+    @property
+    def errors(self) -> int:
+        with self._lock:
+            return self._errors

@@ -25,7 +25,13 @@ thread-safe ``publish(query) -> rows`` API combining
 * online rebalancing: ``rebalance(shards=...)`` splits/merges a sharded
   deployment's shards under live traffic (fragment snapshot, mutation-log
   tail replay, atomic partition-map swap, pool rebuild, plan-cache
-  flush).
+  flush);
+* durability and self-healing: with ``log_dir`` configured the mutation
+  logs are :class:`~repro.replica.DurableMutationLog`\\ s — acknowledged
+  updates survive a restart (segment replay after an optional checkpoint
+  restore), ``checkpoint()`` bounds the replay, and ``repair_replicas()``
+  (or the ``auto_repair_interval`` background loop) re-provisions dead
+  replicas back to K live copies from a live snapshot plus the log tail.
 
 ``stats()`` returns a :class:`ServiceStats` snapshot: served/computed
 counters, cache hit rates, per-shard pool breakdowns (including

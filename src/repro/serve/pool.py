@@ -70,6 +70,9 @@ class PoolStats:
     catchups: int = 0
     #: Total log entries replayed across those catch-ups.
     entries_replayed: int = 0
+    #: Clones that fell below the log's compaction floor and were rebuilt
+    #: from the template instead of failing the checkout.
+    stale_rebuilds: int = 0
     #: Identifies the pool in per-shard breakdowns (e.g. ``"shard-2"``).
     label: str = ""
 
@@ -142,8 +145,23 @@ class ConnectionPool:
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._all: List[StorageBackend] = []
+        clone_lsns: List[int] = []
         try:
             for _ in range(size):
+                # Stamp each clone with the log LSN observed immediately
+                # *before* its clone() call.  A single post-loop read would
+                # stamp every clone with the final head — so a write landing
+                # while the loop runs (after clone i, before the read) would
+                # be marked applied on clone i without ever reaching it: a
+                # silently stale connection.  The pre-clone stamp errs the
+                # other way — a write racing the clone itself may be
+                # replayed onto a clone that already holds it — which is
+                # bounded to that one in-flight write and, unlike the lost
+                # update, never invents a connection that lies about its
+                # LSN.
+                clone_lsns.append(
+                    mutation_log.lsn if mutation_log is not None else 0
+                )
                 self._all.append(template.clone())
         except Exception:
             # Don't leak the clones that did come up when a later one fails.
@@ -151,11 +169,8 @@ class ConnectionPool:
                 if not backend.closed:
                     backend.close()
             raise
-        # The clones were just taken from the live template, so they hold
-        # everything the log has seen up to now.
-        base_lsn = mutation_log.lsn if mutation_log is not None else 0
         self._clone_lsn: Dict[int, int] = {
-            id(backend): base_lsn for backend in self._all
+            id(backend): lsn for backend, lsn in zip(self._all, clone_lsns)
         }
         self._idle: Deque[StorageBackend] = deque(self._all)
         self._in_use = 0
@@ -166,6 +181,7 @@ class ConnectionPool:
         self._rejections = 0
         self._catchups = 0
         self._entries_replayed = 0
+        self._stale_rebuilds = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -240,8 +256,10 @@ class ConnectionPool:
             self._peak_in_use = max(self._peak_in_use, self._in_use)
         # Catch-up replay runs outside the pool lock: only this thread
         # holds the clone, and other checkouts must not wait behind it.
+        # _sync may hand back a different (rebuilt) connection when this
+        # one fell below the log's compaction floor.
         try:
-            self._sync(backend)
+            backend = self._sync(backend)
             if min_lsn is not None and self._replay:
                 applied = self._clone_lsn.get(id(backend), 0)
                 if applied < min_lsn:
@@ -254,19 +272,41 @@ class ConnectionPool:
             raise
         return backend
 
-    def _sync(self, backend: StorageBackend) -> None:
-        """Replay the mutation-log tail this clone has not applied yet."""
+    def _sync(self, backend: StorageBackend) -> StorageBackend:
+        """Replay the mutation-log tail this clone has not applied yet.
+
+        Returns the connection to hand out — usually *backend* itself, but
+        a clone whose applied LSN fell below the log's compaction floor
+        (compaction outran it while it sat checked out or idle) can no
+        longer catch up incrementally; instead of failing the checkout
+        forever, it is rebuilt from the template (:meth:`_rebuild_stale`)
+        and the fresh clone is returned.
+        """
         if not self._replay:
-            return
+            return backend
         log = self.mutation_log
-        applied = self._clone_lsn.get(id(backend), 0)
-        head = log.lsn
-        if applied >= head:
-            return
+        # Two attempts: the floor can advance between the staleness check
+        # and the tail read (another checkin compacting concurrently); one
+        # rebuild re-stamps at the then-current head, the retry reads the
+        # tail from there.  A second failure is a real fault and raises.
+        for attempt in (0, 1):
+            applied = self._clone_lsn.get(id(backend), 0)
+            if applied < log.floor:
+                backend = self._rebuild_stale(backend)
+                applied = self._clone_lsn.get(id(backend), 0)
+            head = log.lsn
+            if applied >= head:
+                return backend
+            try:
+                entries = log.entries_since(applied)
+            except StorageError:
+                if attempt == 0:
+                    continue
+                raise
+            break
         with current_span().child(
             "pool.catchup", pool=self.label or "pool", from_lsn=applied
         ) as span:
-            entries = log.entries_since(applied)
             for entry in entries:
                 backend.apply(entry.changeset)
                 applied = entry.lsn
@@ -275,6 +315,36 @@ class ConnectionPool:
             self._clone_lsn[id(backend)] = applied
             self._catchups += 1
             self._entries_replayed += len(entries)
+        return backend
+
+    def _rebuild_stale(self, backend: StorageBackend) -> StorageBackend:
+        """Replace a below-the-floor clone with a fresh template clone.
+
+        The caller holds *backend* checked out, so swapping it for a new
+        clone is private to this thread: the replacement inherits the
+        checkout (``in_use`` is untouched) and the stale clone is closed.
+        The same pre-clone LSN stamping as pool construction applies.
+        """
+        lsn = self.mutation_log.lsn
+        replacement = self.template.clone()
+        with self._lock:
+            self._clone_lsn.pop(id(backend), None)
+            if backend in self._all:
+                self._all.remove(backend)
+            self._all.append(replacement)
+            self._clone_lsn[id(replacement)] = lsn
+            self._stale_rebuilds += 1
+        if not backend.closed:
+            backend.close()
+        if self.events is not None:
+            self.events.record(
+                POOL_CLONE_REPLACED,
+                pool=self.label or "pool",
+                replaced=True,
+                reason="stale",
+                remaining=len(self._all),
+            )
+        return replacement
 
     def _discard(self, backend: StorageBackend) -> None:
         """Drop a clone whose state is no longer trustworthy (failed replay).
@@ -286,7 +356,13 @@ class ConnectionPool:
         of parking until timeout on a pool that can never serve them.
         """
         replacement: Optional[StorageBackend] = None
+        replacement_lsn = 0
         try:
+            # Pre-clone stamping, as in the constructor: reading the head
+            # after the clone would mark writes that landed mid-clone as
+            # applied when the clone may have missed them.
+            if self.mutation_log is not None:
+                replacement_lsn = self.mutation_log.lsn
             replacement = self.template.clone()
         except Exception:
             replacement = None
@@ -298,9 +374,7 @@ class ConnectionPool:
                 self._all.remove(backend)
             if replacement is not None and not self._closed:
                 self._all.append(replacement)
-                self._clone_lsn[id(replacement)] = (
-                    self.mutation_log.lsn if self.mutation_log is not None else 0
-                )
+                self._clone_lsn[id(replacement)] = replacement_lsn
                 self._idle.append(replacement)
                 adopted = True
             elif not self._all and not self._closed:
@@ -334,7 +408,7 @@ class ConnectionPool:
         """
         if self._replay and not self._closed and not backend.closed:
             try:
-                self._sync(backend)
+                backend = self._sync(backend)
             except Exception:
                 self._discard(backend)
                 raise
@@ -379,6 +453,7 @@ class ConnectionPool:
             rejections=self._rejections,
             catchups=self._catchups,
             entries_replayed=self._entries_replayed,
+            stale_rebuilds=self._stale_rebuilds,
             label=self.label,
         )
 

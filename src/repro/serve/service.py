@@ -23,6 +23,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.configuration import MarsConfiguration
@@ -35,6 +36,8 @@ from ..obs import (
     CostFeedback,
     EventLog,
     FingerprintFeedback,
+    LOG_CHECKPOINT,
+    LOG_RECOVERED,
     MetricsRegistry,
     NULL_TRACE,
     REPLICA_FAILOVER,
@@ -47,11 +50,16 @@ from ..obs import (
 )
 from ..replica import (
     ChangeSet,
+    DurableMutationLog,
     MutationLog,
     RebalanceReport,
     Rebalancer,
+    RepairLoop,
+    RepairReport,
+    ReplicaRepairer,
     ReplicatedBackend,
     ReplicaStats,
+    restore_snapshot,
 )
 from ..shard import RouterStats, ShardedBackend
 from ..storage.backends import StorageBackend
@@ -149,6 +157,16 @@ class ServiceStats:
     replica_failovers: int = 0
     #: Lifetime replica fences across the template and pooled clones.
     replica_fenced: int = 0
+    #: Dead replicas re-provisioned back to live copies
+    #: (:meth:`PublishingService.repair_replicas`).
+    replica_repairs: int = 0
+    #: Events the event log dropped because recording them failed.
+    events_dropped: int = 0
+    #: Durable mutation-log segment files on disk, summed over the
+    #: service's logs (0 on in-memory deployments).
+    log_segments: int = 0
+    #: Durable mutation-log bytes on disk.
+    log_size_bytes: int = 0
 
     def snapshot(self) -> Dict[str, object]:
         """The stats as one JSON-able dict (the operator-facing view).
@@ -167,6 +185,10 @@ class ServiceStats:
             "rebalances": self.rebalances,
             "replica_failovers": self.replica_failovers,
             "replica_fenced": self.replica_fenced,
+            "replica_repairs": self.replica_repairs,
+            "events_dropped": self.events_dropped,
+            "log_segments": self.log_segments,
+            "log_size_bytes": self.log_size_bytes,
             "cache": {
                 "entries": self.cache.current_size,
                 "hits": self.cache.hits,
@@ -182,6 +204,7 @@ class ServiceStats:
                 "peak_in_use": self.pool.peak_in_use,
                 "rejections": self.pool.rejections,
                 "catchups": self.pool.catchups,
+                "stale_rebuilds": self.pool.stale_rebuilds,
             },
         }
         if self.router is not None:
@@ -199,6 +222,7 @@ class ServiceStats:
                 "live_replicas": self.replicas.live_replicas,
                 "failovers": self.replicas.failovers,
                 "fenced": self.replicas.fenced,
+                "repaired": self.replicas.repaired,
                 "selector": self.replicas.selector,
             }
         return data
@@ -232,6 +256,10 @@ class PublishingService:
         slow_query_sample: int = 1,
         metrics_registry: Optional[MetricsRegistry] = None,
         event_log_size: int = 1024,
+        log_dir: Optional[str] = None,
+        log_fsync: Optional[str] = None,
+        log_segment_bytes: Optional[int] = None,
+        auto_repair_interval: Optional[float] = None,
     ):
         if strategy not in (STRATEGY_BEST, STRATEGY_UNION):
             raise ValueError(f"unknown execution strategy {strategy!r}")
@@ -293,6 +321,34 @@ class PublishingService:
         # Build the instance data once, into the template backend the pools
         # will clone from.
         self.executor = MarsExecutor(configuration, backend=backend)
+        # The write path: one mutation log per pool (per shard on a
+        # sharded deployment), replayed onto pooled snapshot clones at
+        # checkout/checkin instead of rebuilding the service after writes.
+        # With a log directory configured the logs are durable: they spool
+        # to append-only segment files, and updates acknowledged by a
+        # previous incarnation of this service are recovered into the
+        # freshly built template *before* statistics are measured or any
+        # clone is taken.
+        self.mutation_log: Optional[MutationLog] = None
+        self.shard_logs: Tuple[MutationLog, ...] = ()
+        self._log_dir = log_dir if log_dir is not None else configuration.log_dir
+        self._log_fsync = (
+            log_fsync if log_fsync is not None else configuration.log_fsync
+        )
+        self._log_segment_bytes = (
+            log_segment_bytes
+            if log_segment_bytes is not None
+            else configuration.log_segment_bytes
+        )
+        self._durable = self._log_dir is not None
+        self._log_recovered_entries = 0
+        if self._durable:
+            try:
+                self._open_durable_logs()
+            except Exception:
+                self._close_logs()
+                self._close_template()
+                raise
         # Plan against measured statistics, not declarations: the built
         # backend is profiled once (the executor has already fed a sharded
         # router its cost model) and the system ranks reformulations with
@@ -303,12 +359,19 @@ class PublishingService:
             try:
                 # A sharded backend was profiled moments ago, during the
                 # executor build; reuse that catalog instead of re-running
-                # the whole ANALYZE/COUNT(DISTINCT) sweep on every child.
-                catalog = getattr(self.executor.backend, "statistics_catalog", None)
+                # the whole ANALYZE/COUNT(DISTINCT) sweep on every child —
+                # unless log recovery just replayed rows the profile never
+                # saw, in which case the sweep must run again.
+                catalog = None
+                if not self._log_recovered_entries:
+                    catalog = getattr(
+                        self.executor.backend, "statistics_catalog", None
+                    )
                 if catalog is None:
                     catalog = self.executor.collect_statistics()
                 system.attach_statistics(catalog)
             except Exception:
+                self._close_logs()
                 self._close_template()
                 raise
         size = pool_size if pool_size is not None else configuration.pool_size
@@ -317,21 +380,17 @@ class PublishingService:
         # instead of pinning a full set of per-shard clones per request.
         self.pool: Optional[ConnectionPool] = None
         self.shard_pools: Tuple[ConnectionPool, ...] = ()
-        # The write path: one mutation log per pool (per shard on a
-        # sharded deployment), replayed onto pooled snapshot clones at
-        # checkout/checkin instead of rebuilding the service after writes.
-        self.mutation_log: Optional[MutationLog] = None
-        self.shard_logs: Tuple[MutationLog, ...] = ()
         self._pool_size = size
         self._max_waiters = max_waiters
         template = self.executor.backend
         try:
             if isinstance(template, ShardedBackend):
                 self.shard_pools, self.shard_logs = self._build_shard_pools(
-                    template
+                    template, logs=self.shard_logs or None
                 )
             else:
-                self.mutation_log = MutationLog()
+                if self.mutation_log is None:
+                    self.mutation_log = MutationLog()
                 self.pool = ConnectionPool(
                     template,
                     size=size,
@@ -340,8 +399,9 @@ class PublishingService:
                     events=self.events,
                 )
         except Exception:
-            # Don't leak the template connection when pooling fails (bad
-            # size, unclonable backend).
+            # Don't leak the template connection (or the durable log
+            # handles) when pooling fails (bad size, unclonable backend).
+            self._close_logs()
             self._close_template()
             raise
         # The C&B engine mutates per-call state deep inside the chase; it is
@@ -361,6 +421,7 @@ class PublishingService:
         self._updates_applied = 0
         self._statistics_refreshes = 0
         self._rebalances = 0
+        self._replica_repairs = 0
         # Row-count drift accounting for the adaptive statistics trigger:
         # rows touched per relation since the last collection, compared
         # against the row counts that collection measured.
@@ -370,6 +431,116 @@ class PublishingService:
         self._wire_event_log(self.executor.backend)
         self._init_metrics()
         self._closed = False
+        # The failure detector: with an interval set, a daemon thread runs
+        # repair_replicas() periodically, so a fenced/killed replica heals
+        # back to K copies without an operator.
+        self._repair_loop: Optional[RepairLoop] = None
+        if auto_repair_interval is not None:
+            self._repair_loop = RepairLoop(
+                self._auto_repair_tick, interval=auto_repair_interval
+            )
+            self._repair_loop.start()
+
+    # ------------------------------------------------------------------
+    # Durable mutation logs
+    # ------------------------------------------------------------------
+    def _open_durable_logs(self) -> None:
+        """Open (and recover from) the segment logs under ``log_dir``.
+
+        Layout: a single-pool deployment logs under ``<log_dir>/service``,
+        a sharded one under ``<log_dir>/shard-<i>``.  A directory written
+        by a different layout (other shard count, other topology) is
+        rejected up front — replaying its entries through today's routing
+        would scatter rows to the wrong fragments.
+        """
+        template = self.executor.backend
+        if not template.clone_is_snapshot:
+            raise StorageError(
+                "a durable log directory requires snapshot-cloning engines "
+                "(the template is rebuilt from the configuration at startup "
+                "and recovered by replay; an engine persisting its own "
+                "state, e.g. file-backed SQLite, would double-apply)"
+            )
+        base = Path(self._log_dir)
+        base.mkdir(parents=True, exist_ok=True)
+        if isinstance(template, ShardedBackend):
+            expected = [f"shard-{i}" for i in range(template.shard_count)]
+        else:
+            expected = ["service"]
+        existing = sorted(
+            entry.name for entry in base.iterdir() if entry.is_dir()
+        )
+        if existing and existing != sorted(expected):
+            raise StorageError(
+                f"log directory {base} was written by a different deployment "
+                f"layout: found {existing}, this deployment needs "
+                f"{sorted(expected)}"
+            )
+        opened: List[DurableMutationLog] = []
+        try:
+            for name in expected:
+                log = DurableMutationLog(
+                    base / name,
+                    fsync=self._log_fsync,
+                    segment_max_bytes=self._log_segment_bytes,
+                )
+                opened.append(log)
+        except Exception:
+            for log in opened:
+                log.close()
+            raise
+        if isinstance(template, ShardedBackend):
+            self.shard_logs = tuple(opened)
+            for index, (log, child) in enumerate(
+                zip(opened, template.children)
+            ):
+                self._recover_log(log, child, label=f"shard-{index}")
+            # Per-shard logs advance independently (an update only touches
+            # the shards it routes to), so the service-level write LSN
+            # restarts at the furthest shard head: monotonic, though not
+            # necessarily dense across the restart.
+            self._write_lsn = max((log.lsn for log in opened), default=0)
+        else:
+            self.mutation_log = opened[0]
+            self._recover_log(opened[0], template, label="service")
+            self._write_lsn = opened[0].lsn
+
+    def _recover_log(
+        self, log: DurableMutationLog, backend: StorageBackend, label: str
+    ) -> None:
+        """Bring *backend* up to *log*'s head: snapshot restore + replay."""
+        start = 0
+        snapshot = log.load_checkpoint()
+        if snapshot is not None:
+            checkpoint_lsn, tables = snapshot
+            restore_snapshot(backend, tables)
+            start = checkpoint_lsn
+        entries = log.entries_since(start)
+        for entry in entries:
+            backend.apply(entry.changeset)
+        self._log_recovered_entries += len(entries)
+        if snapshot is not None or entries or log.truncated_records:
+            self.events.record(
+                LOG_RECOVERED,
+                lsn=log.lsn,
+                log=label,
+                checkpoint_lsn=log.checkpoint_lsn,
+                entries=len(entries),
+                truncated_records=log.truncated_records,
+            )
+
+    def _durable_logs(self) -> Tuple[DurableMutationLog, ...]:
+        """The service's durable logs (empty on in-memory deployments)."""
+        logs: List[DurableMutationLog] = []
+        for log in (self.mutation_log, *self.shard_logs):
+            if isinstance(log, DurableMutationLog):
+                logs.append(log)
+        return tuple(logs)
+
+    def _close_logs(self) -> None:
+        for log in (self.mutation_log, *self.shard_logs):
+            if log is not None:
+                log.close()
 
     def _wire_event_log(self, backend: object) -> None:
         """Point every replicated layer at the service's event log.
@@ -429,6 +600,10 @@ class PublishingService:
         self._m_rebalance_latency = registry.histogram(
             "mars_rebalance_latency_seconds", "rebalance() wall-clock seconds"
         )
+        self._m_repairs = registry.counter(
+            "mars_replica_repairs_total",
+            "dead replicas re-provisioned back to live copies",
+        )
         # Export-time gauges bridging the *Stats snapshots (cache, pool,
         # router, replica) into the registry without a second counter on
         # any hot path.
@@ -471,6 +646,17 @@ class PublishingService:
         self._g_write_lsn = registry.gauge(
             "mars_write_lsn", "highest acknowledged mutation-log LSN"
         )
+        self._g_log_segments = registry.gauge(
+            "mars_log_segments",
+            "durable mutation-log segment files on disk (all logs)",
+        )
+        self._g_log_bytes = registry.gauge(
+            "mars_log_size_bytes", "durable mutation-log bytes on disk"
+        )
+        self._g_events_dropped = registry.gauge(
+            "mars_events_dropped_total",
+            "events the event log dropped because recording them failed",
+        )
 
         def collect() -> None:
             if self._closed:
@@ -493,18 +679,31 @@ class PublishingService:
             self._g_replica_failovers.set(stats.replica_failovers)
             self._g_replica_fenced.set(stats.replica_fenced)
             self._g_write_lsn.set(stats.last_write_lsn)
+            self._g_log_segments.set(stats.log_segments)
+            self._g_log_bytes.set(stats.log_size_bytes)
+            self._g_events_dropped.set(stats.events_dropped)
 
         registry.add_collector(collect)
 
     def _build_shard_pools(
-        self, template: ShardedBackend
+        self, template: ShardedBackend, logs: Optional[Sequence[MutationLog]] = None
     ) -> Tuple[Tuple[ConnectionPool, ...], Tuple[MutationLog, ...]]:
-        """One pool and one mutation log per shard of *template*."""
+        """One pool and one mutation log per shard of *template*.
+
+        *logs* supplies pre-existing logs (the recovered durable ones);
+        ``None`` creates fresh in-memory logs — the rebalance path, which
+        rebuilds pools for a brand-new shard layout.
+        """
+        if logs is not None and len(logs) != len(template.children):
+            raise StorageError(
+                f"{len(logs)} mutation log(s) for {len(template.children)} "
+                "shard(s)"
+            )
         pools: List[ConnectionPool] = []
-        logs: List[MutationLog] = []
+        used: List[MutationLog] = []
         try:
             for index, child in enumerate(template.children):
-                log = MutationLog()
+                log = logs[index] if logs is not None else MutationLog()
                 pools.append(
                     ConnectionPool(
                         child,
@@ -515,12 +714,12 @@ class PublishingService:
                         events=self.events,
                     )
                 )
-                logs.append(log)
+                used.append(log)
         except Exception:
             for pool in pools:
                 pool.close(force=True)
             raise
-        return tuple(pools), tuple(logs)
+        return tuple(pools), tuple(used)
 
     def _close_template(self) -> None:
         self.executor.close()
@@ -984,6 +1183,17 @@ class PublishingService:
                 "rebalance requires a sharded deployment "
                 f"(template backend is {type(template).__name__})"
             )
+        if self._durable:
+            # The on-disk logs are bound to the shard layout they were
+            # written under: a restart rebuilds that layout from the
+            # configuration and replays each shard's log into it, so a
+            # rebalanced (different) layout would replay rows into the
+            # wrong fragments.  Re-deploy with the new shard count (and a
+            # fresh log directory) instead.
+            raise StorageError(
+                "rebalance is not supported with a durable log directory: "
+                "the segment logs are bound to the current shard layout"
+            )
         clock = timer()
         with self._rebalance_lock:
             tee = MutationLog()
@@ -1033,6 +1243,102 @@ class PublishingService:
         )
 
     # ------------------------------------------------------------------
+    # Durability and self-healing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Snapshot the stored state and compact the durable log(s).
+
+        Writes a checkpoint of every pool's backing store at the current
+        log head (writers pause for the snapshot; publishes keep flowing),
+        then drops the sealed segments the checkpoint covers.  Restart
+        recovery becomes *restore snapshot + replay the remaining tail*
+        instead of replaying the full history — and until the first
+        checkpoint, nothing is ever compacted away, because the log is the
+        only path from the configuration's base data to the acknowledged
+        state.  Returns the highest checkpointed LSN.
+        """
+        if self._closed:
+            raise StorageError("PublishingService is closed")
+        if not self._durable:
+            raise StorageError(
+                "checkpoint requires a durable log (configure log_dir)"
+            )
+        template = self.executor.backend
+        targets: List[Tuple[DurableMutationLog, StorageBackend]] = []
+        if self.mutation_log is not None:
+            targets.append((self.mutation_log, template))
+        else:
+            for child, log in zip(template.children, self.shard_logs):
+                targets.append((log, child))
+        lsns: List[int] = []
+        segments_dropped = 0
+        with self._write_lock:
+            for log, store in targets:
+                lsns.append(log.write_checkpoint(store))
+        # Compaction outside the write lock: deleting segment files does
+        # not touch the stores.  Pooled clones below the new floor are
+        # rebuilt from the template on their next checkout (the pool's
+        # stale-rebuild path) rather than erroring.
+        for log, _store in targets:
+            segments_dropped += log.compact(log.checkpoint_lsn)
+        checkpoint_lsn = max(lsns, default=0)
+        self.events.record(
+            LOG_CHECKPOINT,
+            lsn=checkpoint_lsn,
+            logs=len(targets),
+            entries_compacted=segments_dropped,
+        )
+        return checkpoint_lsn
+
+    def repair_replicas(self) -> Tuple[RepairReport, ...]:
+        """Re-provision dead replicas back to K live copies, online.
+
+        Walks every replicated store the service owns (the template, or
+        each sharded child that is replicated), and for each one with
+        fenced/killed replicas runs the snapshot + log-replay + adopt
+        protocol of :class:`~repro.replica.repair.ReplicaRepairer` —
+        writers pause only for the snapshot and the final cutover.  Safe
+        to call when nothing is dead (returns an empty tuple).  Each
+        repair is recorded as a ``replica.repaired`` event and counted in
+        ``mars_replica_repairs_total``.
+        """
+        if self._closed:
+            raise StorageError("PublishingService is closed")
+        template = self.executor.backend
+        targets: List[Tuple[ReplicatedBackend, Optional[MutationLog]]] = []
+        if isinstance(template, ReplicatedBackend):
+            targets.append((template, self.mutation_log))
+        elif isinstance(template, ShardedBackend):
+            for index, child in enumerate(template.children):
+                if isinstance(child, ReplicatedBackend):
+                    log = (
+                        self.shard_logs[index]
+                        if index < len(self.shard_logs)
+                        else None
+                    )
+                    targets.append((child, log))
+        reports: List[RepairReport] = []
+        # Serialized against rebalance: both swap live storage around.
+        with self._rebalance_lock:
+            for store, log in targets:
+                repairer = ReplicaRepairer(store, events=self.events)
+                if not repairer.dead_replicas():
+                    continue
+                report = repairer.repair_all(
+                    log=log, pause=lambda: self._write_lock
+                )
+                reports.append(report)
+                if report.repaired:
+                    with self._counter_lock:
+                        self._replica_repairs += len(report.repaired)
+                    self._m_repairs.inc(len(report.repaired))
+        return tuple(reports)
+
+    def _auto_repair_tick(self) -> None:
+        if not self._closed:
+            self.repair_replicas()
+
+    # ------------------------------------------------------------------
     # Introspection and lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
@@ -1042,6 +1348,7 @@ class PublishingService:
             updates = self._updates_applied
             refreshes = self._statistics_refreshes
             rebalances = self._rebalances
+            repairs = self._replica_repairs
         write_lsn = self._write_lsn
         template = self.executor.backend
         replicas = (
@@ -1049,6 +1356,13 @@ class PublishingService:
         )
         failovers = self.events.count(REPLICA_FAILOVER)
         fenced = self.events.count(REPLICA_FENCED)
+        dropped = self.events.dropped
+        log_segments = 0
+        log_bytes = 0
+        for log in self._durable_logs():
+            log_stats = log.stats()
+            log_segments += log_stats.segments
+            log_bytes += log_stats.size_bytes
         if self.pool is not None:
             return ServiceStats(
                 queries_served=served,
@@ -1062,6 +1376,10 @@ class PublishingService:
                 replicas=replicas,
                 replica_failovers=failovers,
                 replica_fenced=fenced,
+                replica_repairs=repairs,
+                events_dropped=dropped,
+                log_segments=log_segments,
+                log_size_bytes=log_bytes,
             )
         per_shard = tuple(pool.stats() for pool in self.shard_pools)
         aggregate = PoolStats(
@@ -1075,6 +1393,7 @@ class PublishingService:
             rejections=sum(stats.rejections for stats in per_shard),
             catchups=sum(stats.catchups for stats in per_shard),
             entries_replayed=sum(stats.entries_replayed for stats in per_shard),
+            stale_rebuilds=sum(stats.stale_rebuilds for stats in per_shard),
             label=f"sharded({len(per_shard)})",
         )
         return ServiceStats(
@@ -1090,6 +1409,10 @@ class PublishingService:
             rebalances=rebalances,
             replica_failovers=failovers,
             replica_fenced=fenced,
+            replica_repairs=repairs,
+            events_dropped=dropped,
+            log_segments=log_segments,
+            log_size_bytes=log_bytes,
         )
 
     def metrics(self, fmt: str = "prometheus") -> str:
@@ -1177,6 +1500,10 @@ class PublishingService:
                         "cannot close PublishingService: publishes still in "
                         "flight (wait for them, or close(force=True))"
                     )
+        # The repair loop must stop before storage goes away (a repair
+        # racing the teardown would clone from closing replicas).
+        if self._repair_loop is not None:
+            self._repair_loop.stop()
         # Close the pools *before* marking the service closed: if a racing
         # publish slips past the sweep above and a pool refuses to close,
         # the service stays open and close() can simply be retried
@@ -1184,6 +1511,9 @@ class PublishingService:
         for pool in pools:
             pool.close(force=force)
         self._closed = True
+        # Seal the durable logs after the pools (a forced pool teardown
+        # may still sync a clone) and before the template disappears.
+        self._close_logs()
         self._close_template()
 
     def __enter__(self) -> "PublishingService":

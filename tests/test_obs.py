@@ -306,6 +306,28 @@ class TestEventLog:
         assert entry == {"sequence": 1, "kind": "k", "lsn": 41,
                          "timestamp": entry["timestamp"]}
 
+    def test_failed_recording_is_dropped_and_counted_not_raised(self):
+        """Regression: record() used to swallow failures without a trace.
+
+        A raising ``lsn_source`` (typical during service teardown) must
+        neither take the caller down nor vanish silently — the drop is
+        counted and ``record`` returns ``None``.
+        """
+
+        def broken_lsn_source():
+            raise RuntimeError("backend already closed")
+
+        log = EventLog(lsn_source=broken_lsn_source)
+        assert log.record("k", detail="lost") is None
+        assert log.record("k") is None
+        assert log.dropped == 2
+        assert len(log) == 0
+        assert log.count("k") == 0
+        # An explicit lsn bypasses the broken source: recording recovers.
+        event = log.record("k", lsn=7)
+        assert event is not None and event.lsn == 7
+        assert log.dropped == 2
+
 
 # ----------------------------------------------------------------------
 # Cost feedback

@@ -431,6 +431,119 @@ class TestPoolMutationCatchup:
         pool.close()
         template.close()
 
+    def test_construction_stamps_each_clone_before_it_is_taken(self):
+        """Writes landing *between* clone() calls must still be replayed.
+
+        Regression: the constructor used to stamp every clone with the
+        log head observed *after* the clone loop, so a write racing the
+        loop was credited to clones taken before it existed — they never
+        replayed it and served stale rows while claiming the head LSN.
+        """
+        log = MutationLog()
+        template = MemoryBackend()
+        template.create_table("r", 2, ("a", "b"))
+        template.insert_many("r", [(1, "x")])
+        original_clone = template.clone
+        writes = []
+
+        def clone_then_write():
+            clone = original_clone()
+            # A writer lands a change after this clone was taken but
+            # while the pool is still constructing its siblings.
+            changeset = ChangeSet.build(
+                inserts={"r": [(100 + len(writes), "raced")]}
+            )
+            template.apply(changeset)
+            log.append(changeset)
+            writes.append(changeset)
+            return clone
+
+        template.clone = clone_then_write
+        pool = ConnectionPool(template, size=3, mutation_log=log)
+        template.clone = original_clone
+        assert len(writes) == 3
+        expected = multiset(template.rows("r"))
+        backends = [pool.acquire(min_lsn=log.lsn) for _ in range(3)]
+        for backend in backends:
+            assert multiset(backend.rows("r")) == expected
+        for backend in backends:
+            pool.release(backend)
+        pool.close()
+        template.close()
+
+    def test_concurrent_writer_during_pool_construction(self):
+        """No acknowledged write may be lost by a pool built under load."""
+        log = MutationLog()
+        template = MemoryBackend()
+        template.create_table("r", 2, ("a", "b"))
+        template.insert_many("r", [(0, "seed")])
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                changeset = ChangeSet.build(inserts={"r": [(1000 + i, "c")]})
+                template.apply(changeset)
+                log.append(changeset)
+                i += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            pools = [
+                ConnectionPool(template, size=2, mutation_log=log)
+                for _ in range(5)
+            ]
+        finally:
+            stop.set()
+            thread.join()
+        # Distinct keys, compared as sets: the pre-clone stamp is
+        # deliberately conservative, so a write in flight during clone()
+        # may be replayed onto a clone that already contains it — a
+        # bounded duplicate, never a lost update.
+        expected = {tuple(row) for row in template.rows("r")}
+        for pool in pools:
+            backend = pool.acquire(min_lsn=log.lsn)
+            assert {tuple(row) for row in backend.rows("r")} == expected
+            pool.release(backend)
+            pool.close()
+        template.close()
+
+    def test_discarded_clone_replacement_is_stamped_conservatively(self):
+        """A replacement clone's LSN is read before clone(), not after."""
+        template = SQLiteBackend(check_same_thread=False)
+        template.create_table("r", 2, ("a", "b"))
+        template.insert_many("r", [(1, "x")])
+        log = MutationLog()
+        pool = ConnectionPool(template, size=1, mutation_log=log)
+        backend = pool.acquire()
+        # a log entry SQLite cannot apply poisons the checkin replay
+        log.append(ChangeSet.build(inserts={"r": [((1, 2), "bad")]}))
+        original_clone = template.clone
+
+        def clone_then_write():
+            clone = original_clone()
+            changeset = ChangeSet.build(inserts={"r": [(7, "late")]})
+            template.apply(changeset)
+            log.append(changeset)
+            return clone
+
+        template.clone = clone_then_write
+        # The failed replay discards the clone; a replacement is cloned
+        # from the template — during which the "late" write lands.
+        with pytest.raises(Exception):
+            pool.release(backend)
+        template.clone = original_clone
+        # The replacement was stamped with the pre-clone LSN, so the late
+        # write is replayed at this checkout instead of silently skipped.
+        replacement = pool.acquire(min_lsn=log.lsn)
+        assert multiset(replacement.rows("r")) == multiset(
+            template.rows("r")
+        )
+        pool.release(replacement)
+        pool.close()
+        template.close()
+
     def test_file_backed_clones_skip_replay(self, tmp_path):
         template = SQLiteBackend(str(tmp_path / "data.db"))
         template.create_table("r", 2, ("a", "b"))

@@ -1,0 +1,146 @@
+"""Operations tour: the admin endpoint, health model, SLOs and audit log.
+
+Builds a replicated publishing service on the XMark workload with the
+whole operational tier enabled — an admin HTTP daemon on an ephemeral
+port, per-fingerprint SLO tracking, and a durable query audit log — and
+walks an operator's day:
+
+* scraping ``/metrics`` and reading ``/stats``, ``/health`` and
+  ``/ready`` over plain HTTP (the same routes ``tools/mars_top.py``
+  polls);
+* killing a replica under live publishes and watching ``/health`` flip
+  to *degraded* with a replica reason while the service keeps serving;
+* repairing back to K live copies and watching the verdict recover;
+* SLO reports with error-budget burn against a deliberately tight
+  latency target;
+* replaying the on-disk audit log after the service is gone — every
+  acknowledged publish and update, with fingerprints, LSNs and
+  per-phase latency.
+
+Run with:  python examples/operations.py
+"""
+
+import json
+import tempfile
+import urllib.error
+import urllib.request
+
+from repro.obs import AuditLog
+from repro.replica import ChangeSet
+from repro.serve import PublishingService
+from repro.workloads import xmark
+
+
+def banner(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def get(base: str, path: str):
+    """``(status, body_text)`` for one GET against the admin endpoint."""
+    try:
+        with urllib.request.urlopen(base + path, timeout=10.0) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+def show_health(base: str) -> None:
+    status, body = get(base, "/health")
+    report = json.loads(body)
+    print(f"GET /health -> {status}  status={report['status']!r}")
+    for check in report["checks"]:
+        reason = f"  ({check['reason']})" if check.get("reason") else ""
+        print(f"  {check['name']:<12} {check['status']}{reason}")
+
+
+def main() -> None:
+    configuration = xmark.build_configuration()
+    configuration.backend = "replicated"
+    configuration.replica_count = 2
+
+    audit_dir = tempfile.mkdtemp(prefix="mars-audit-demo-")
+    queries = [xmark.query_item_names(), *xmark.query_suite()[:2]]
+
+    with PublishingService(
+        configuration,
+        pool_size=2,
+        admin_port=0,  # ephemeral: read the bound port back
+        audit_dir=audit_dir,
+        slo_target_p99=0.0005,  # deliberately tight: 500us p99
+    ) as service:
+        base = f"http://127.0.0.1:{service.admin_port}"
+        print(f"admin endpoint: {base}")
+        print(f"audit log:      {audit_dir}")
+
+        banner("Warm the service")
+        for query in queries:
+            for _ in range(3):
+                service.publish(query)
+        lsn = service.update(
+            ChangeSet.build(inserts={"itemName": [("item-ops", "Ops Demo")]})
+        )
+        print(f"{3 * len(queries)} publishes, 1 update (LSN {lsn})")
+
+        banner("GET /metrics (first lines of the scrape)")
+        _, scrape = get(base, "/metrics")
+        for line in scrape.splitlines()[:8]:
+            print(line)
+        print("...")
+
+        banner("GET /stats (identity and counters)")
+        _, body = get(base, "/stats")
+        stats = json.loads(body)
+        print(f"version {stats['version']}, up {stats['uptime_seconds']:.1f}s, "
+              f"started {stats['started_at']}")
+        print(f"queries_served={stats['queries_served']} "
+              f"updates_applied={stats['updates_applied']} "
+              f"last_write_lsn={stats['last_write_lsn']}")
+
+        banner("Healthy service")
+        show_health(base)
+
+        banner("Kill a replica under live publishes")
+        service.executor.backend.replicas[0].close()
+        service.publish(queries[0])  # read fan-out fails over, still serves
+        show_health(base)
+        for line in scrape.splitlines():
+            if line.startswith("mars_health_status"):
+                print(f"(gauge before the kill: {line})")
+        _, scrape = get(base, "/metrics")
+        for line in scrape.splitlines():
+            if line.startswith("mars_health_status"):
+                print(f"(gauge after the kill:  {line})")
+
+        banner("Repair back to K live copies")
+        reports = service.repair_replicas()
+        repaired = sum(len(report.repaired) for report in reports)
+        print(f"repaired {repaired} replica(s)")
+        show_health(base)
+
+        banner("SLO report (deliberately tight 500us p99 target)")
+        for entry in json.loads(get(base, "/stats")[1])["slo"]:
+            flag = "  <-- breaching" if entry["breached"] else ""
+            print(f"{entry['key']:<16} {entry['requests']:>4} req, "
+                  f"{entry['violations']} violation(s), "
+                  f"window p99 {entry['window_p99_seconds'] * 1000:.2f}ms, "
+                  f"burn {entry['budget_burn']:.2f}{flag}")
+
+    banner("Audit replay after the service is gone")
+    with AuditLog(audit_dir) as audit:
+        entries = list(audit.entries())
+    print(f"{len(entries)} record(s) on disk")
+    for entry in entries[-3:]:
+        phases = ", ".join(
+            f"{name} {seconds * 1000:.2f}ms"
+            for name, seconds in entry["phases"].items()
+        )
+        if entry["kind"] == "publish":
+            print(f"publish {entry['query']:<12} lsn={entry['lsn']} "
+                  f"rows={entry['rows']} [{phases}]")
+        else:
+            print(f"update  {'':<12} lsn={entry['lsn']} "
+                  f"changes={entry['changes']} [{phases}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,17 @@ from ..xmlmodel.model import XMLDocument
 DEFAULT_XML_ACCESS_WEIGHT = 5.0
 
 
+def _env_int(name: str) -> Optional[int]:
+    """An integer environment knob; unset or non-numeric means None."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
 class MarsConfiguration:
     """The declarative input of a MARS deployment."""
 
@@ -93,6 +104,21 @@ class MarsConfiguration:
         self.log_dir: Optional[str] = os.environ.get("MARS_LOG_DIR") or None
         self.log_fsync: str = "always"
         self.log_segment_bytes: int = 1 << 20
+        # Operational surface (repro.obs.http / audit / slo).  admin_port
+        # None keeps the admin HTTP endpoint off; 0 binds an ephemeral
+        # port (published as service.admin_port after start); the
+        # MARS_ADMIN_PORT environment variable overrides.  audit_dir (or
+        # MARS_AUDIT_DIR) enables the durable JSONL audit log of every
+        # acknowledged publish/update; audit_fsync follows the mutation
+        # log's policy vocabulary ("always" | "off").  slo_target_p99
+        # None disables SLO tracking; set it to a seconds budget to get
+        # per-query error-budget burn over slo_window_seconds.
+        self.admin_port: Optional[int] = _env_int("MARS_ADMIN_PORT")
+        self.audit_dir: Optional[str] = os.environ.get("MARS_AUDIT_DIR") or None
+        self.audit_fsync: str = "off"
+        self.audit_max_bytes: int = 1 << 20
+        self.slo_target_p99: Optional[float] = None
+        self.slo_window_seconds: float = 300.0
         # Monotonic declaration version.  Every mutation of the schema
         # correspondence (views, constraints, relations) bumps it; the plan
         # cache keys on it, and MarsSystem recompiles its derived artifacts

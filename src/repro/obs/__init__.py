@@ -1,4 +1,4 @@
-"""Observability: tracing, metrics, events and cost feedback for MARS.
+"""Observability: tracing, metrics, events, health and audit for MARS.
 
 After PRs 1–5 the system could serve, shard, replicate and rebalance —
 silently.  This package is the instrumentation layer every subsystem
@@ -8,7 +8,9 @@ reports through:
   behind every duration the system records, so spans, ``elapsed_seconds``
   fields and benchmark deltas agree;
 * :mod:`repro.obs.trace` — per-request span trees (:class:`Tracer`,
-  :class:`Span`, the ambient :func:`current_span`), free when disabled;
+  :class:`Span`, the ambient :func:`current_span`), free when disabled,
+  plus the sampled :class:`TraceBuffer` ring of completed traces and the
+  :func:`phase_breakdown` per-phase latency attribution;
 * :mod:`repro.obs.metrics` — the thread-safe :class:`MetricsRegistry`
   (counters, gauges, fixed-bucket histograms with p50/p95/p99) with
   Prometheus-text and JSON exposition;
@@ -17,13 +19,23 @@ reports through:
   refresh, rebalance stages), LSN-stamped;
 * :mod:`repro.obs.feedback` — the :class:`CostFeedback` recorder of
   estimated-vs-actual cardinality and cost per query fingerprint, the
-  report adaptive statistics re-collection consumes.
+  report adaptive statistics re-collection consumes;
+* :mod:`repro.obs.health` — the :class:`HealthCheck` registry rolling
+  named probes up into one ``healthy | degraded | unhealthy`` verdict;
+* :mod:`repro.obs.slo` — per-query rolling latency objectives with
+  error-budget burn (:class:`SLOTracker`);
+* :mod:`repro.obs.audit` — the durable, rotated JSONL :class:`AuditLog`
+  of every acknowledged publish/update;
+* :mod:`repro.obs.http` — the :class:`AdminServer` scrape surface
+  (``/metrics``, ``/stats``, ``/health``, ``/ready``, ``/events``,
+  ``/traces/recent``).
 
-The :class:`~repro.serve.PublishingService` wires all four together; see
-``docs/OBSERVABILITY.md`` for the span taxonomy, metric names and event
-schema.
+The :class:`~repro.serve.PublishingService` wires all of these together;
+see ``docs/OBSERVABILITY.md`` for the span taxonomy, metric names, event
+schema and operational endpoints.
 """
 
+from .audit import AuditError, AuditLog, AuditStats
 from .events import (
     Event,
     EventLog,
@@ -41,6 +53,17 @@ from .events import (
     STATISTICS_REFRESH,
 )
 from .feedback import CostFeedback, FingerprintFeedback, q_error
+from .health import (
+    DEGRADED,
+    HEALTHY,
+    STATUS_VALUES,
+    UNHEALTHY,
+    CheckResult,
+    HealthCheck,
+    HealthReport,
+    worst_status,
+)
+from .http import AdminServer, METRICS_CONTENT_TYPE
 from .metrics import (
     ALLOWED_UNIT_SUFFIXES,
     DEFAULT_LATENCY_BUCKETS,
@@ -50,25 +73,47 @@ from .metrics import (
     MetricsRegistry,
     validate_metric_name,
 )
+from .slo import SLOReport, SLOTracker
 from .timer import Timer, now, timer
-from .trace import NULL_SPAN, NULL_TRACE, Span, Trace, Tracer, current_span
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACE,
+    PUBLISH_PHASES,
+    Span,
+    Trace,
+    TraceBuffer,
+    Tracer,
+    current_span,
+    phase_breakdown,
+)
 
 __all__ = [
     "ALLOWED_UNIT_SUFFIXES",
+    "AdminServer",
+    "AuditError",
+    "AuditLog",
+    "AuditStats",
+    "CheckResult",
     "Counter",
     "CostFeedback",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEGRADED",
     "Event",
     "EventLog",
     "FingerprintFeedback",
     "Gauge",
+    "HEALTHY",
+    "HealthCheck",
+    "HealthReport",
     "Histogram",
     "LOG_CHECKPOINT",
     "LOG_RECOVERED",
+    "METRICS_CONTENT_TYPE",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACE",
     "POOL_CLONE_REPLACED",
+    "PUBLISH_PHASES",
     "REBALANCE_COPY",
     "REBALANCE_CUTOVER",
     "REBALANCE_REPLAY",
@@ -77,14 +122,21 @@ __all__ = [
     "REPLICA_FENCED",
     "REPLICA_REPAIRED",
     "SLOW_QUERY",
+    "SLOReport",
+    "SLOTracker",
     "STATISTICS_REFRESH",
+    "STATUS_VALUES",
     "Span",
     "Timer",
     "Trace",
+    "TraceBuffer",
     "Tracer",
+    "UNHEALTHY",
     "current_span",
     "now",
+    "phase_breakdown",
     "q_error",
     "timer",
     "validate_metric_name",
+    "worst_status",
 ]

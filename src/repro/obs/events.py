@@ -143,6 +143,25 @@ class EventLog:
             return retained
         return tuple(event for event in retained if event.kind == kind)
 
+    def tail(self, n: int, kind: Optional[str] = None) -> Tuple[Event, ...]:
+        """The newest *n* retained events, oldest first.
+
+        The bounded accessor the ``/events`` endpoint (and tests) read
+        instead of reaching into the ring: the snapshot is taken under the
+        lock, the filter and slice outside it.  ``n <= 0`` returns
+        nothing; *kind* filters before the count is applied, so asking for
+        the last 5 ``replica.fenced`` events does what it says.
+        """
+        if n <= 0:
+            return ()
+        retained = self.events(kind)
+        return retained[-n:]
+
+    def counts(self) -> Dict[str, int]:
+        """Lifetime events recorded per kind (survives ring eviction)."""
+        with self._lock:
+            return dict(self._recorded_per_kind)
+
     def count(self, kind: Optional[str] = None) -> int:
         """Events recorded over the log's lifetime (not just retained)."""
         with self._lock:

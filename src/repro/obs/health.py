@@ -1,0 +1,153 @@
+"""The health model: machine-readable liveness for orchestrators.
+
+Counters and events tell an operator *what happened*; an orchestrator
+(or a load balancer) needs one word: can this process serve?  A
+:class:`HealthCheck` registry aggregates named checks — each returning a
+:class:`CheckResult` with a ``healthy | degraded | unhealthy`` status and
+a human-readable reason — into a :class:`HealthReport` whose overall
+status is the worst of its parts:
+
+* ``healthy`` — every check passed; full capacity.
+* ``degraded`` — still serving, but below spec (a replica down and not
+  yet repaired, the pool saturated, stale-clone churn): keep routing
+  traffic, page someone.
+* ``unhealthy`` — not fit to serve (no live replicas, durable log
+  closed, service closed): stop routing traffic.
+
+A check that *raises* is reported as ``unhealthy`` with the exception as
+its reason — a broken probe is a finding, never a crash of the admin
+surface.  :data:`STATUS_VALUES` maps statuses onto the
+``mars_health_status`` gauge (1 healthy, 0.5 degraded, 0 unhealthy), so
+a dashboard threshold or alert rule reads one number.
+
+The :class:`~repro.serve.PublishingService` registers its built-in
+checks (replica liveness, pool pressure, durable-log disk state,
+repair-loop heartbeat) and serves the report on ``GET /health``; see
+``docs/OBSERVABILITY.md`` for the endpoint semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+UNHEALTHY = "unhealthy"
+
+#: Severity order: the aggregate status is the maximum over the checks.
+_SEVERITY: Dict[str, int] = {HEALTHY: 0, DEGRADED: 1, UNHEALTHY: 2}
+
+#: The ``mars_health_status`` gauge encoding: alert rules compare one
+#: number (``< 1`` is degraded, ``0`` is down).
+STATUS_VALUES: Dict[str, float] = {HEALTHY: 1.0, DEGRADED: 0.5, UNHEALTHY: 0.0}
+
+
+def worst_status(statuses: Iterable[str]) -> str:
+    """The most severe of *statuses* (``healthy`` when empty)."""
+    worst = HEALTHY
+    for status in statuses:
+        if status not in _SEVERITY:
+            raise ValueError(f"unknown health status {status!r}")
+        if _SEVERITY[status] > _SEVERITY[worst]:
+            worst = status
+    return worst
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One check's verdict: a status, the reason, and its evidence."""
+
+    name: str
+    status: str
+    #: Why the check is not (or is) healthy, for the report's reader.
+    reason: str = ""
+    #: The numbers behind the verdict (live replica count, queue depth).
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.status not in _SEVERITY:
+            raise ValueError(f"unknown health status {self.status!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {"name": self.name, "status": self.status}
+        if self.reason:
+            entry["reason"] = self.reason
+        if self.details:
+            entry["details"] = dict(self.details)
+        return entry
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """The aggregate status plus every check's individual verdict."""
+
+    status: str
+    checks: Tuple[CheckResult, ...]
+
+    @property
+    def value(self) -> float:
+        """The :data:`STATUS_VALUES` encoding for the health gauge."""
+        return STATUS_VALUES[self.status]
+
+    def reasons(self) -> Tuple[str, ...]:
+        """The non-healthy checks' reasons, ``"name: reason"`` each."""
+        return tuple(
+            f"{check.name}: {check.reason or check.status}"
+            for check in self.checks
+            if check.status != HEALTHY
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+
+class HealthCheck:
+    """A registry of named health probes, aggregated on demand.
+
+    Checks are zero-argument callables returning a :class:`CheckResult`;
+    they run at :meth:`report` time (a ``/health`` hit), in registration
+    order, each isolated — a raising check contributes an ``unhealthy``
+    result naming the exception instead of propagating.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._checks: Dict[str, Callable[[], CheckResult]] = {}
+
+    def register(self, name: str, check: Callable[[], CheckResult]) -> None:
+        """Add (or replace) the probe registered under *name*."""
+        if not name:
+            raise ValueError("health check needs a non-empty name")
+        with self._lock:
+            self._checks[name] = check
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._checks.pop(name, None)
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._checks)
+
+    def report(self) -> HealthReport:
+        """Run every check and aggregate: the worst status wins."""
+        with self._lock:
+            checks = list(self._checks.items())
+        results: List[CheckResult] = []
+        for name, check in checks:
+            try:
+                result = check()
+            except Exception as error:
+                result = CheckResult(
+                    name,
+                    UNHEALTHY,
+                    reason=f"check raised {type(error).__name__}: {error}",
+                )
+            results.append(result)
+        status = worst_status(result.status for result in results)
+        return HealthReport(status=status, checks=tuple(results))

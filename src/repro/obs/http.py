@@ -1,0 +1,239 @@
+"""The admin HTTP surface: scrape, probe, and page through one port.
+
+Everything the observability tier accumulates in-process — the metrics
+registry, service stats, the health report, the event ring, sampled
+traces — becomes operationally useful only once something *outside* the
+process can read it.  :class:`AdminServer` is that boundary: a small
+stdlib ``ThreadingHTTPServer`` (no framework, no new dependency) bound
+to localhost by default, serving:
+
+========================  ====================================================
+``GET /metrics``          Prometheus text exposition 0.0.4 from the registry.
+``GET /stats``            ``ServiceStats.snapshot()`` as JSON.
+``GET /health``           The aggregated health report; ``200`` while the
+                          service can serve (healthy *or* degraded), ``503``
+                          when unhealthy — load balancers read the code,
+                          humans read the body.
+``GET /ready``            Readiness probe: ``200`` once serving, ``503``
+                          before/after (closed).
+``GET /events``           The event-log tail (``?kind=``, ``?n=``) plus
+                          lifetime per-kind counts and the dropped counter.
+``GET /traces/recent``    The sampled ring of completed span trees (``?n=``).
+========================  ====================================================
+
+The server is deliberately *dumb*: every endpoint is a zero-argument
+provider callable handed in by the owner (the publishing service), so the
+HTTP layer holds no service state and unit tests can stand one up around
+plain lambdas.  A provider that raises yields a **500 with the error in
+the body** — a broken scrape must look broken, not empty (the same
+loudness contract as the registry's collectors).
+
+Binding to port 0 picks an ephemeral port, published as :attr:`port`
+after :meth:`start` — how tests and the CI smoke leg run without port
+coordination.  Request handling runs on daemon threads; :meth:`stop`
+shuts the listener down and joins the serve loop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .health import DEGRADED, HEALTHY, HealthReport
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Routes advertised in the 404 body, for discoverability.
+ROUTES = ("/metrics", "/stats", "/health", "/ready", "/events", "/traces/recent")
+
+DEFAULT_EVENT_TAIL = 100
+DEFAULT_TRACE_TAIL = 10
+
+
+def _query_int(query: Dict[str, Any], name: str, default: int) -> int:
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        return int(values[-1])
+    except (TypeError, ValueError):
+        return default
+
+
+class _AdminHandler(BaseHTTPRequestHandler):
+    """Dispatches GETs to the owning :class:`AdminServer`'s providers."""
+
+    #: Quieter and sturdier for probes than the default HTTP/1.0.
+    protocol_version = "HTTP/1.1"
+    server: "_AdminHTTPServer"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Probes hit /health every few seconds; stderr is not the place.
+        pass
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2, default=repr).encode("utf-8")
+        self._send(status, JSON_CONTENT_TYPE, body)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        parts = urlsplit(self.path)
+        query = parse_qs(parts.query)
+        try:
+            status, content_type, body = self.server.admin.respond(
+                parts.path, query
+            )
+        except Exception as error:
+            # A broken provider must produce a broken scrape, loudly.
+            message = f"{type(error).__name__}: {error}\n"
+            status, content_type = 500, "text/plain; charset=utf-8"
+            body = message.encode("utf-8")
+        self._send(status, content_type, body)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._send_json(405, {"error": "admin endpoints are read-only"})
+
+
+class _AdminHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: Fast restarts over TIME_WAIT sockets (tests churn servers).
+    allow_reuse_address = True
+    admin: "AdminServer"
+
+
+class AdminServer:
+    """The operational HTTP endpoint; see the module docstring for routes."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        *,
+        metrics_text: Callable[[], str],
+        stats_snapshot: Callable[[], Dict[str, Any]],
+        health_report: Callable[[], HealthReport],
+        ready: Callable[[], bool],
+        event_tail: Optional[
+            Callable[[Optional[str], int], Dict[str, Any]]
+        ] = None,
+        trace_recent: Optional[Callable[[int], Dict[str, Any]]] = None,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self._metrics_text = metrics_text
+        self._stats_snapshot = stats_snapshot
+        self._health_report = health_report
+        self._ready = ready
+        self._event_tail = event_tail
+        self._trace_recent = trace_recent
+        self._server: Optional[_AdminHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind and serve on a daemon thread; raises ``OSError`` on bind."""
+        with self._lock:
+            if self._server is not None:
+                return
+            server = _AdminHTTPServer(
+                (self.host, self._requested_port), _AdminHandler
+            )
+            server.admin = self
+            thread = threading.Thread(
+                target=server.serve_forever,
+                name="mars-admin",
+                daemon=True,
+            )
+            self._server, self._thread = server, thread
+            thread.start()
+
+    def stop(self) -> None:
+        with self._lock:
+            server, thread = self._server, self._thread
+            self._server, self._thread = None, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    @property
+    def running(self) -> bool:
+        with self._lock:
+            return self._server is not None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (resolves port-0 binds), ``None`` when stopped."""
+        with self._lock:
+            if self._server is None:
+                return None
+            return self._server.server_address[1]
+
+    @property
+    def url(self) -> Optional[str]:
+        port = self.port
+        if port is None:
+            return None
+        return f"http://{self.host}:{port}"
+
+    def __enter__(self) -> "AdminServer":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def respond(
+        self, path: str, query: Dict[str, Any]
+    ) -> Tuple[int, str, bytes]:
+        """Route one GET; returns ``(status, content_type, body)``.
+
+        Provider exceptions propagate to the handler's 500 path — routing
+        itself never swallows them.
+        """
+        if path == "/metrics":
+            text = self._metrics_text()
+            return 200, METRICS_CONTENT_TYPE, text.encode("utf-8")
+        if path == "/stats":
+            return self._json(200, self._stats_snapshot())
+        if path == "/health":
+            report = self._health_report()
+            status = 200 if report.status in (HEALTHY, DEGRADED) else 503
+            return self._json(status, report.to_dict())
+        if path == "/ready":
+            ready = bool(self._ready())
+            return self._json(200 if ready else 503, {"ready": ready})
+        if path == "/events":
+            if self._event_tail is None:
+                return self._json(404, {"error": "event log not enabled"})
+            kinds = query.get("kind")
+            kind = kinds[-1] if kinds else None
+            n = _query_int(query, "n", DEFAULT_EVENT_TAIL)
+            return self._json(200, self._event_tail(kind, n))
+        if path == "/traces/recent":
+            if self._trace_recent is None:
+                return self._json(404, {"error": "trace buffer not enabled"})
+            n = _query_int(query, "n", DEFAULT_TRACE_TAIL)
+            return self._json(200, self._trace_recent(n))
+        return self._json(404, {"error": "not found", "routes": list(ROUTES)})
+
+    @staticmethod
+    def _json(status: int, payload: Any) -> Tuple[int, str, bytes]:
+        body = json.dumps(payload, indent=2, default=repr).encode("utf-8")
+        return status, JSON_CONTENT_TYPE, body

@@ -82,6 +82,7 @@ ALLOWED_UNIT_SUFFIXES: Tuple[str, ...] = (
     "_plans",
     "_lsn",
     "_segments",
+    "_status",
 )
 
 _NAME = re.compile(r"^[a-z][a-z0-9_]*$")
@@ -130,10 +131,25 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules.
+
+    Backslash, double quote and newline are the three characters the
+    format escapes inside quoted label values; anything else passes
+    through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(names: Tuple[str, ...], values: Tuple[str, ...]) -> str:
     if not names:
         return ""
-    pairs = ",".join(f'{name}="{value}"' for name, value in zip(names, values))
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
     return "{" + pairs + "}"
 
 
@@ -423,8 +439,17 @@ class MetricsRegistry:
         with self._lock:
             collectors = list(self._collectors)
             families = [self._families[name] for name in sorted(self._families)]
+        # Collectors run before a single exposition line is rendered, so a
+        # failing one aborts the whole export with a clear owner instead
+        # of corrupting the scrape with a partially refreshed view.
         for collector in collectors:
-            collector()
+            try:
+                collector()
+            except Exception as error:
+                name = getattr(collector, "__qualname__", repr(collector))
+                raise RuntimeError(
+                    f"metrics collector {name} failed: {error}"
+                ) from error
         return families
 
     def render_prometheus(self) -> str:

@@ -1,0 +1,210 @@
+"""Latency SLOs: per-fingerprint objectives with error-budget burn.
+
+A latency histogram answers "how slow are we"; an SLO answers "are we
+keeping the promise".  The :class:`SLOTracker` holds one rolling window
+of observations per tracked key (the service keys by query name — one
+per structural fingerprint) against an objective of the form
+
+    *objective* (e.g. 99%) of requests complete within *target_p99*
+    seconds, evaluated over the last *window_seconds*.
+
+Every observation either meets the target or **burns error budget**: the
+budget is the allowed violation fraction (``1 - objective``), and the
+burn rate is the observed violation fraction divided by it — 1.0 means
+the budget is being spent exactly as fast as the objective allows,
+anything above means the SLO will be broken if the window's behaviour
+continues, 0 means no violations at all.  This is the standard
+burn-rate alerting quantity, computed here from the same observations
+that feed the latency histograms (one ``observe`` per publish).
+
+The :class:`~repro.serve.PublishingService` exports the tracker as the
+``mars_slo_*`` series (requests/violations counters, target/p99/burn
+gauges, labelled by query) and surfaces :meth:`SLOTracker.report` in
+``ServiceStats.snapshot()``; ``tools/mars_top.py`` renders the same
+report as its hot-fingerprint table.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from .timer import now
+
+DEFAULT_OBJECTIVE = 0.99
+DEFAULT_WINDOW_SECONDS = 300.0
+#: Observations kept per key; at typical scrape-window traffic the time
+#: bound dominates, this bound caps memory on very hot fingerprints.
+DEFAULT_MAX_SAMPLES = 2048
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """One key's objective and its rolling-window standing."""
+
+    key: str
+    target_p99: float
+    objective: float
+    #: Lifetime observations and violations (monotonic counters).
+    requests: int
+    violations: int
+    #: Observations currently inside the window.
+    window_requests: int
+    window_violations: int
+    #: Interpolated p99 over the window (0.0 when empty).
+    window_p99: float
+    #: Violation fraction divided by the allowed fraction; 1.0 spends
+    #: the budget exactly at the objective's rate.
+    budget_burn: float
+
+    @property
+    def breached(self) -> bool:
+        """Whether the window is burning budget faster than allowed."""
+        return self.budget_burn > 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "target_p99_seconds": self.target_p99,
+            "objective": self.objective,
+            "requests": self.requests,
+            "violations": self.violations,
+            "window_requests": self.window_requests,
+            "window_violations": self.window_violations,
+            "window_p99_seconds": self.window_p99,
+            "budget_burn": self.budget_burn,
+            "breached": self.breached,
+        }
+
+
+class _Window:
+    __slots__ = ("target", "objective", "samples", "requests", "violations")
+
+    def __init__(self, target: float, objective: float):
+        self.target = target
+        self.objective = objective
+        #: ``(timestamp, seconds)`` pairs, oldest first.
+        self.samples: Deque[Tuple[float, float]] = deque()
+        self.requests = 0
+        self.violations = 0
+
+
+class SLOTracker:
+    """Thread-safe rolling latency-objective tracker, one window per key."""
+
+    def __init__(
+        self,
+        target_p99: float,
+        objective: float = DEFAULT_OBJECTIVE,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        clock=now,
+    ):
+        if target_p99 <= 0:
+            raise ValueError(f"SLO target must be > 0 seconds, got {target_p99}")
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"SLO objective must be in (0, 1), got {objective}")
+        if window_seconds <= 0:
+            raise ValueError(f"SLO window must be > 0 seconds, got {window_seconds}")
+        if max_samples < 1:
+            raise ValueError(f"SLO max_samples must be >= 1, got {max_samples}")
+        self.target_p99 = target_p99
+        self.objective = objective
+        self.window_seconds = window_seconds
+        self.max_samples = max_samples
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._windows: Dict[str, _Window] = {}
+
+    def set_objective(
+        self,
+        key: str,
+        target_p99: Optional[float] = None,
+        objective: Optional[float] = None,
+    ) -> None:
+        """Override the default target/objective for one key."""
+        target = target_p99 if target_p99 is not None else self.target_p99
+        goal = objective if objective is not None else self.objective
+        if target <= 0:
+            raise ValueError(f"SLO target must be > 0 seconds, got {target}")
+        if not 0.0 < goal < 1.0:
+            raise ValueError(f"SLO objective must be in (0, 1), got {goal}")
+        with self._lock:
+            window = self._windows.get(key)
+            if window is None:
+                window = self._windows[key] = _Window(target, goal)
+            else:
+                window.target = target
+                window.objective = goal
+
+    def _trim(self, window: _Window, timestamp: float) -> None:
+        horizon = timestamp - self.window_seconds
+        samples = window.samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+        while len(samples) > self.max_samples:
+            samples.popleft()
+
+    def observe(self, key: str, seconds: float) -> bool:
+        """Fold one request's latency in; returns whether it violated."""
+        timestamp = self._clock()
+        with self._lock:
+            window = self._windows.get(key)
+            if window is None:
+                window = self._windows[key] = _Window(
+                    self.target_p99, self.objective
+                )
+            violated = seconds > window.target
+            window.requests += 1
+            if violated:
+                window.violations += 1
+            window.samples.append((timestamp, seconds))
+            self._trim(window, timestamp)
+        return violated
+
+    def keys(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._windows))
+
+    def report(self) -> List[SLOReport]:
+        """Every key's standing, worst budget burn first."""
+        timestamp = self._clock()
+        results: List[SLOReport] = []
+        with self._lock:
+            for key in sorted(self._windows):
+                window = self._windows[key]
+                self._trim(window, timestamp)
+                latencies = sorted(seconds for _ts, seconds in window.samples)
+                count = len(latencies)
+                in_window_violations = sum(
+                    1 for seconds in latencies if seconds > window.target
+                )
+                if count:
+                    # Nearest-rank p99 over the retained observations.
+                    rank = max(0, min(count - 1, int(0.99 * count + 0.5) - 1))
+                    p99 = latencies[rank] if count > 1 else latencies[0]
+                    allowed = 1.0 - window.objective
+                    burn = (in_window_violations / count) / allowed
+                else:
+                    p99 = 0.0
+                    burn = 0.0
+                results.append(
+                    SLOReport(
+                        key=key,
+                        target_p99=window.target,
+                        objective=window.objective,
+                        requests=window.requests,
+                        violations=window.violations,
+                        window_requests=count,
+                        window_violations=in_window_violations,
+                        window_p99=p99,
+                        budget_burn=burn,
+                    )
+                )
+        results.sort(key=lambda entry: entry.budget_burn, reverse=True)
+        return results
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [entry.to_dict() for entry in self.report()]

@@ -274,6 +274,117 @@ class _NullTrace:
 
 NULL_TRACE = _NullTrace()
 
+#: Canonical publish phases the slow-query log and the audit log break a
+#: request into, mapped from the span names that carry them.  The cache
+#: probe counts as (the fast path of) reformulation; ``execute`` keeps
+#: its children, so ``merge`` — a sub-step of execution — is also
+#: reported on its own line.
+PUBLISH_PHASES: Dict[str, str] = {
+    "reformulate": "reformulate",
+    "plan_cache.lookup": "reformulate",
+    "route": "route",
+    "pool.acquire": "acquire",
+    "execute": "execute",
+    "merge": "merge",
+    "apply": "apply",
+    "log.append": "log.append",
+}
+
+
+def phase_breakdown(span: "Span") -> Dict[str, float]:
+    """Per-phase seconds of one request's span tree.
+
+    Walks *span*'s descendants summing durations under the canonical
+    phase names of :data:`PUBLISH_PHASES`.  A matched ``reformulate``
+    span owns its children (the nested cache probe and C&B phases are
+    parts of it, not separate phases); every other match keeps
+    descending, so ``merge`` inside ``execute`` is still attributed.
+    Returns ``{}`` on the null span (tracing disabled).
+    """
+    phases: Dict[str, float] = {}
+
+    def visit(node: "Span") -> None:
+        for child in list(node.children):
+            phase = PUBLISH_PHASES.get(child.name)
+            if phase is not None:
+                phases[phase] = phases.get(phase, 0.0) + child.duration
+                if phase == "reformulate":
+                    continue
+            visit(child)
+
+    visit(span)
+    return phases
+
+
+class TraceBuffer:
+    """A sampled ring of completed span trees, exported as JSON-able dicts.
+
+    ``/traces/recent`` serves this buffer: *sample* keeps every Nth
+    completed trace (1 keeps them all — the deterministic counter idiom
+    of the slow-query log), *maxlen* bounds retention.  Recording
+    retains the :class:`Trace` object itself — each request builds a
+    fresh span tree, so the retained tree is stable — and the dict
+    export happens on :meth:`recent`, keeping the per-publish cost of a
+    retained trace to a counter bump and a list append.
+    """
+
+    def __init__(self, maxlen: int = 64, sample: int = 1):
+        if maxlen < 1:
+            raise ValueError(f"trace buffer needs maxlen >= 1, got {maxlen}")
+        if sample < 1:
+            raise ValueError(f"trace sample must be >= 1, got {sample}")
+        self.sample = sample
+        self._lock = threading.Lock()
+        self._traces: List["Trace"] = []
+        self._maxlen = maxlen
+        self._completed = 0
+        self._recorded = 0
+
+    def record(self, trace: "Trace") -> bool:
+        """Offer one completed trace; returns whether it was retained."""
+        if not trace.enabled:
+            return False
+        with self._lock:
+            self._completed += 1
+            if (self._completed - 1) % self.sample:
+                return False
+            self._traces.append(trace)
+            if len(self._traces) > self._maxlen:
+                del self._traces[0]
+            self._recorded += 1
+            return True
+
+    @property
+    def completed(self) -> int:
+        """Traces offered over the buffer's lifetime (sampled or not)."""
+        with self._lock:
+            return self._completed
+
+    @property
+    def recorded(self) -> int:
+        """Traces retained over the buffer's lifetime (before eviction)."""
+        with self._lock:
+            return self._recorded
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def recent(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The retained traces as dicts, newest first (at most *n*)."""
+        with self._lock:
+            traces = list(reversed(self._traces))
+        if n is not None:
+            if n <= 0:
+                return []
+            traces = traces[:n]
+        exported = []
+        for trace in traces:
+            entry = trace.to_dict()
+            entry["duration_ms"] = round(trace.duration * 1000.0, 3)
+            exported.append(entry)
+        return exported
+
 
 class Tracer:
     """The per-service switchboard deciding whether requests get spans.

@@ -21,8 +21,10 @@ reformulations as a single ``UNION`` round trip) and returns the rows.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -33,9 +35,17 @@ from ..core.system import MarsSystem
 from ..errors import ReformulationError, StorageError
 from ..logical.queries import ConjunctiveQuery, UnionQuery
 from ..obs import (
+    AdminServer,
+    AuditLog,
+    AuditStats,
+    CheckResult,
     CostFeedback,
+    DEGRADED,
     EventLog,
     FingerprintFeedback,
+    HEALTHY,
+    HealthCheck,
+    HealthReport,
     LOG_CHECKPOINT,
     LOG_RECOVERED,
     MetricsRegistry,
@@ -43,9 +53,14 @@ from ..obs import (
     REPLICA_FAILOVER,
     REPLICA_FENCED,
     SLOW_QUERY,
+    SLOReport,
+    SLOTracker,
     STATISTICS_REFRESH,
+    TraceBuffer,
     Tracer,
+    UNHEALTHY,
     current_span,
+    phase_breakdown,
     timer,
 )
 from ..replica import (
@@ -167,6 +182,16 @@ class ServiceStats:
     log_segments: int = 0
     #: Durable mutation-log bytes on disk.
     log_size_bytes: int = 0
+    #: When the service came up (ISO-8601, UTC).
+    started_at: str = ""
+    #: Seconds since the service came up (monotonic).
+    uptime_seconds: float = 0.0
+    #: The serving package's version string.
+    version: str = ""
+    #: Per-query SLO standings (empty when SLO tracking is off).
+    slo: Tuple[SLOReport, ...] = ()
+    #: Audit-log shape (``None`` when the audit log is off).
+    audit: Optional[AuditStats] = None
 
     def snapshot(self) -> Dict[str, object]:
         """The stats as one JSON-able dict (the operator-facing view).
@@ -177,6 +202,9 @@ class ServiceStats:
         counts.
         """
         data: Dict[str, object] = {
+            "started_at": self.started_at,
+            "uptime_seconds": self.uptime_seconds,
+            "version": self.version,
             "queries_served": self.queries_served,
             "reformulations_computed": self.reformulations_computed,
             "updates_applied": self.updates_applied,
@@ -225,6 +253,10 @@ class ServiceStats:
                 "repaired": self.replicas.repaired,
                 "selector": self.replicas.selector,
             }
+        if self.slo:
+            data["slo"] = [entry.to_dict() for entry in self.slo]
+        if self.audit is not None:
+            data["audit"] = self.audit.to_dict()
         return data
 
 
@@ -260,6 +292,15 @@ class PublishingService:
         log_fsync: Optional[str] = None,
         log_segment_bytes: Optional[int] = None,
         auto_repair_interval: Optional[float] = None,
+        admin_port: Optional[int] = None,
+        admin_host: str = "127.0.0.1",
+        audit_dir: Optional[str] = None,
+        audit_fsync: Optional[str] = None,
+        audit_max_bytes: Optional[int] = None,
+        slo_target_p99: Optional[float] = None,
+        slo_window_seconds: Optional[float] = None,
+        trace_buffer_size: int = 64,
+        trace_sample: int = 1,
     ):
         if strategy not in (STRATEGY_BEST, STRATEGY_UNION):
             raise ValueError(f"unknown execution strategy {strategy!r}")
@@ -284,6 +325,35 @@ class PublishingService:
             maxlen=event_log_size, lsn_source=lambda: self._write_lsn
         )
         self.cost_feedback = CostFeedback()
+        #: A sampled ring of completed span trees, served on /traces/recent.
+        self.trace_buffer = TraceBuffer(
+            maxlen=trace_buffer_size, sample=trace_sample
+        )
+        self._started_clock = timer()
+        self.started_at = datetime.now(timezone.utc).isoformat()
+        # Per-query latency objectives: a seconds budget (here or on the
+        # configuration) turns error-budget tracking on.
+        slo_target = (
+            slo_target_p99
+            if slo_target_p99 is not None
+            else configuration.slo_target_p99
+        )
+        slo_window = (
+            slo_window_seconds
+            if slo_window_seconds is not None
+            else configuration.slo_window_seconds
+        )
+        self.slo: Optional[SLOTracker] = (
+            SLOTracker(slo_target, window_seconds=slo_window)
+            if slo_target is not None
+            else None
+        )
+        #: Named health probes rolled up on /health; built-in checks are
+        #: registered once storage exists (see _init_health), callers may
+        #: register their own.
+        self.health_checks = HealthCheck()
+        self._health_pool_rejections = 0
+        self._health_pool_stale_rebuilds = 0
         #: Publishes at or over this many seconds enter the slow-query
         #: log (``None`` disables it); of those, every *slow_query_sample*-th
         #: is recorded (1 records them all).
@@ -440,6 +510,51 @@ class PublishingService:
                 self._auto_repair_tick, interval=auto_repair_interval
             )
             self._repair_loop.start()
+        # The operational tier comes up last, once everything it reports
+        # on exists: the built-in health probes, the durable audit log of
+        # acknowledged requests, and the admin HTTP endpoint.  A failure
+        # here (unwritable audit directory, admin port in use) tears the
+        # fully built service back down instead of leaking it.
+        self.audit: Optional[AuditLog] = None
+        self.admin: Optional[AdminServer] = None
+        self._fingerprint_reprs: Dict[Tuple, str] = {}
+        self._init_health()
+        try:
+            audit_path = (
+                audit_dir if audit_dir is not None else configuration.audit_dir
+            )
+            if audit_path is not None:
+                self.audit = AuditLog(
+                    audit_path,
+                    max_bytes=(
+                        audit_max_bytes
+                        if audit_max_bytes is not None
+                        else configuration.audit_max_bytes
+                    ),
+                    fsync=(
+                        audit_fsync
+                        if audit_fsync is not None
+                        else configuration.audit_fsync
+                    ),
+                )
+            port = (
+                admin_port if admin_port is not None else configuration.admin_port
+            )
+            if port is not None:
+                self.admin = AdminServer(
+                    port,
+                    host=admin_host,
+                    metrics_text=self.registry.render_prometheus,
+                    stats_snapshot=lambda: self.stats().snapshot(),
+                    health_report=self.health,
+                    ready=lambda: not self._closed,
+                    event_tail=self._event_tail,
+                    trace_recent=self._trace_recent,
+                )
+                self.admin.start()
+        except Exception:
+            self.close(force=True)
+            raise
 
     # ------------------------------------------------------------------
     # Durable mutation logs
@@ -657,6 +772,46 @@ class PublishingService:
             "mars_events_dropped_total",
             "events the event log dropped because recording them failed",
         )
+        self._g_health = registry.gauge(
+            "mars_health_status",
+            "aggregate health: 1 healthy, 0.5 degraded, 0 unhealthy",
+        )
+        self._g_uptime = registry.gauge(
+            "mars_uptime_seconds", "seconds since the service came up"
+        )
+        self._g_audit_records = registry.gauge(
+            "mars_audit_records_total", "audit entries written this incarnation"
+        )
+        self._g_audit_bytes = registry.gauge(
+            "mars_audit_size_bytes", "active audit file bytes on disk"
+        )
+        # Per-query SLO series (labelled); counters move on the publish
+        # path, the standing gauges are refreshed at export time.
+        self._m_slo_requests = registry.counter(
+            "mars_slo_requests_total",
+            "publishes measured against the latency objective",
+            labels=("query",),
+        )
+        self._m_slo_violations = registry.counter(
+            "mars_slo_violations_total",
+            "publishes that missed the latency objective",
+            labels=("query",),
+        )
+        self._g_slo_target = registry.gauge(
+            "mars_slo_target_seconds",
+            "the per-query latency objective",
+            labels=("query",),
+        )
+        self._g_slo_p99 = registry.gauge(
+            "mars_slo_window_p99_seconds",
+            "observed p99 over the rolling SLO window",
+            labels=("query",),
+        )
+        self._g_slo_burn = registry.gauge(
+            "mars_slo_error_budget_burn_ratio",
+            "window violation rate over the allowed rate (>1 is breaching)",
+            labels=("query",),
+        )
 
         def collect() -> None:
             if self._closed:
@@ -682,8 +837,187 @@ class PublishingService:
             self._g_log_segments.set(stats.log_segments)
             self._g_log_bytes.set(stats.log_size_bytes)
             self._g_events_dropped.set(stats.events_dropped)
+            self._g_uptime.set(stats.uptime_seconds)
+            self._g_health.set(self.health().value)
+            for entry in stats.slo:
+                self._g_slo_target.labels(query=entry.key).set(entry.target_p99)
+                self._g_slo_p99.labels(query=entry.key).set(entry.window_p99)
+                self._g_slo_burn.labels(query=entry.key).set(entry.budget_burn)
+            if stats.audit is not None:
+                self._g_audit_records.set(stats.audit.records)
+                self._g_audit_bytes.set(stats.audit.active_bytes)
 
         registry.add_collector(collect)
+
+    # ------------------------------------------------------------------
+    # Health probes
+    # ------------------------------------------------------------------
+    def _init_health(self) -> None:
+        """Register the built-in probes (see ``repro.obs.health``).
+
+        The checks read pool/replica/log state directly — never through
+        :meth:`stats` — so a probe stays cheap and :meth:`stats` can keep
+        reporting while a probe would block.
+        """
+        checks = self.health_checks
+        checks.register("service", self._check_service)
+        checks.register("pool", self._check_pool)
+        if self._replicated_stores():
+            checks.register("replicas", self._check_replicas)
+        if self._durable:
+            checks.register("durable_log", self._check_durable_log)
+        if self._repair_loop is not None:
+            checks.register("repair_loop", self._check_repair_loop)
+
+    def _replicated_stores(self) -> List[Tuple[str, ReplicatedBackend]]:
+        """Every replicated store the service owns, labelled."""
+        template = self.executor.backend
+        stores: List[Tuple[str, ReplicatedBackend]] = []
+        if isinstance(template, ReplicatedBackend):
+            stores.append(("template", template))
+        elif isinstance(template, ShardedBackend):
+            for index, child in enumerate(template.children):
+                if isinstance(child, ReplicatedBackend):
+                    stores.append((f"shard-{index}", child))
+        return stores
+
+    def _check_service(self) -> CheckResult:
+        if self._closed:
+            return CheckResult("service", UNHEALTHY, reason="service is closed")
+        return CheckResult("service", HEALTHY)
+
+    def _check_pool(self) -> CheckResult:
+        pools = ([self.pool] if self.pool is not None else []) + list(
+            self.shard_pools
+        )
+        per = [pool.stats() for pool in pools]
+        waiting = sum(stats.waiting for stats in per)
+        rejections = sum(stats.rejections for stats in per)
+        stale = sum(stats.stale_rebuilds for stats in per)
+        with self._counter_lock:
+            new_rejections = rejections - self._health_pool_rejections
+            new_stale = stale - self._health_pool_stale_rebuilds
+            self._health_pool_rejections = rejections
+            self._health_pool_stale_rebuilds = stale
+        details = {
+            "size": sum(stats.size for stats in per),
+            "in_use": sum(stats.in_use for stats in per),
+            "waiting": waiting,
+            "rejections": rejections,
+            "stale_rebuilds": stale,
+        }
+        reasons: List[str] = []
+        if waiting:
+            reasons.append(f"{waiting} checkout(s) waiting")
+        if new_rejections > 0:
+            reasons.append(f"{new_rejections} rejection(s) since last probe")
+        if new_stale > 0:
+            reasons.append(
+                f"{new_stale} stale clone rebuild(s) since last probe"
+            )
+        status = DEGRADED if reasons else HEALTHY
+        return CheckResult(
+            "pool", status, reason="; ".join(reasons), details=details
+        )
+
+    def _check_replicas(self) -> CheckResult:
+        status = HEALTHY
+        reasons: List[str] = []
+        details: Dict[str, object] = {}
+        for label, store in self._replicated_stores():
+            stats = store.stats()
+            details[label] = {
+                "replica_count": stats.replica_count,
+                "live_replicas": stats.live_replicas,
+                "fenced": stats.fenced,
+            }
+            if stats.live_replicas == 0:
+                status = UNHEALTHY
+                reasons.append(f"{label}: no live replicas")
+            elif stats.live_replicas < stats.replica_count:
+                if status == HEALTHY:
+                    status = DEGRADED
+                reasons.append(
+                    f"{label}: {stats.live_replicas}/{stats.replica_count} "
+                    "replicas live"
+                )
+        return CheckResult(
+            "replicas", status, reason="; ".join(reasons), details=details
+        )
+
+    def _check_durable_log(self) -> CheckResult:
+        logs = self._durable_logs()
+        status = HEALTHY
+        reasons: List[str] = []
+        segments = 0
+        size_bytes = 0
+        for log in logs:
+            if log.closed:
+                status = UNHEALTHY
+                reasons.append(f"log {log.directory} is closed")
+                continue
+            if not Path(log.directory).is_dir():
+                status = UNHEALTHY
+                reasons.append(f"log directory {log.directory} is gone")
+                continue
+            log_stats = log.stats()
+            segments += log_stats.segments
+            size_bytes += log_stats.size_bytes
+        details = {
+            "logs": len(logs),
+            "segments": segments,
+            "size_bytes": size_bytes,
+        }
+        return CheckResult(
+            "durable_log", status, reason="; ".join(reasons), details=details
+        )
+
+    def _check_repair_loop(self) -> CheckResult:
+        loop = self._repair_loop
+        if loop is None:
+            return CheckResult("repair_loop", HEALTHY, reason="not configured")
+        details = {"ticks": loop.ticks, "errors": loop.errors}
+        if not loop.running and not self._closed:
+            return CheckResult(
+                "repair_loop",
+                UNHEALTHY,
+                reason="repair loop configured but not running",
+                details=details,
+            )
+        if loop.errors:
+            return CheckResult(
+                "repair_loop",
+                DEGRADED,
+                reason=f"{loop.errors} repair tick(s) raised",
+                details=details,
+            )
+        return CheckResult("repair_loop", HEALTHY, details=details)
+
+    def health(self) -> HealthReport:
+        """Run every registered probe; the worst status wins."""
+        return self.health_checks.report()
+
+    # ------------------------------------------------------------------
+    # Admin endpoint providers
+    # ------------------------------------------------------------------
+    @property
+    def admin_port(self) -> Optional[int]:
+        """The admin endpoint's bound port (``None`` when disabled)."""
+        return self.admin.port if self.admin is not None else None
+
+    def _event_tail(self, kind: Optional[str], n: int) -> Dict[str, object]:
+        return {
+            "events": [event.to_dict() for event in self.events.tail(n, kind)],
+            "counts": self.events.counts(),
+            "dropped": self.events.dropped,
+        }
+
+    def _trace_recent(self, n: int) -> Dict[str, object]:
+        return {
+            "traces": self.trace_buffer.recent(n),
+            "completed": self.trace_buffer.completed,
+            "recorded": self.trace_buffer.recorded,
+        }
 
     def _build_shard_pools(
         self, template: ShardedBackend, logs: Optional[Sequence[MutationLog]] = None
@@ -920,11 +1254,16 @@ class PublishingService:
         tracked = self.tracer.trace(
             "publish", force=trace, query=query.name, strategy=effective
         )
+        # The LSN barrier this request is served at (read-your-writes):
+        # captured up front so the audit entry records the guarantee made.
+        barrier_lsn = self._write_lsn
         clock = timer()
         try:
             with tracked.root:
                 with self._gate.read():
+                    reform_clock = timer()
                     reformulation = self.reformulate(query)
+                    reform_seconds = reform_clock.stop()
                     plan = self.plan_for(reformulation, strategy=effective)
                     exec_clock = timer()
                     rows = self._run_plan(plan, distinct)
@@ -933,16 +1272,42 @@ class PublishingService:
             self._m_publish_errors.inc()
             raise
         seconds = clock.stop()
+        # Per-phase attribution: from the span tree when tracing is live,
+        # else the two coarse timers above — the slow-query log and the
+        # audit entry always carry a breakdown.
+        phases = phase_breakdown(tracked.root) if tracked.enabled else {}
+        if not phases:
+            phases = {
+                "reformulate": reform_seconds,
+                "execute": exec_seconds,
+            }
         with self._counter_lock:
             self._queries_served += 1
         self._m_publishes.inc()
         self._m_published_rows.inc(len(rows))
         self._m_publish_latency.observe(seconds)
+        if self.slo is not None:
+            violated = self.slo.observe(query.name, seconds)
+            self._m_slo_requests.labels(query=query.name).inc()
+            if violated:
+                self._m_slo_violations.labels(query=query.name).inc()
         self._record_feedback(query, reformulation, plan, len(rows), exec_seconds)
-        self._note_slow(query, seconds, len(rows))
+        self._note_slow(query, seconds, len(rows), phases)
         if tracked.enabled:
             tracked.root.annotate(rows=len(rows))
             self.last_trace = tracked
+            self.trace_buffer.record(tracked)
+        if self.audit is not None:
+            self._audit_publish(
+                query=query,
+                reformulation=reformulation,
+                strategy=effective,
+                rows=len(rows),
+                seconds=seconds,
+                phases=phases,
+                lsn=barrier_lsn,
+                tracked=tracked,
+            )
         return rows, tracked
 
     def _record_feedback(
@@ -962,7 +1327,65 @@ class PublishingService:
         )
         self._m_feedback.inc()
 
-    def _note_slow(self, query, seconds: float, rows: int) -> None:
+    def _route_modes(self, tracked) -> List[str]:
+        """The routing modes this publish took, for the audit entry."""
+        if self.pool is not None:
+            return ["single"]
+        if tracked.enabled:
+            for span in list(tracked.root.children):
+                if span.name == "route":
+                    modes = span.attributes.get("modes")
+                    if modes:
+                        return [str(mode) for mode in modes]
+        return ["sharded"]
+
+    def _audit_publish(
+        self,
+        query,
+        reformulation,
+        strategy: str,
+        rows: int,
+        seconds: float,
+        phases: Dict[str, float],
+        lsn: int,
+        tracked,
+    ) -> None:
+        """Append one publish to the durable audit log (raises on failure)."""
+        fingerprint = query.fingerprint()
+        text = self._fingerprint_reprs.get(fingerprint)
+        if text is None:
+            # Rendering the structural tuple costs more than the whole
+            # audit append; cache it alongside the plan-cache lifetime.
+            if len(self._fingerprint_reprs) >= 1024:
+                self._fingerprint_reprs.clear()
+            text = self._fingerprint_reprs[fingerprint] = repr(fingerprint)
+        entry: Dict[str, object] = {
+            "ts": time.time(),
+            "kind": "publish",
+            "query": query.name,
+            "fingerprint": text,
+            "strategy": strategy,
+            "route": self._route_modes(tracked),
+            "lsn": lsn,
+            "rows": rows,
+            "seconds": seconds,
+            "phases": phases,
+        }
+        estimate = reformulation.cost_estimate
+        if estimate is not None:
+            entry["estimate"] = {
+                "rows": getattr(estimate, "cardinality", 0.0),
+                "cost": getattr(estimate, "total", 0.0),
+            }
+        self.audit.record(entry)
+
+    def _note_slow(
+        self,
+        query,
+        seconds: float,
+        rows: int,
+        phases: Optional[Dict[str, float]] = None,
+    ) -> None:
         """Count a slow publish; sample every Nth into the event log."""
         threshold = self.slow_query_seconds
         if threshold is None or seconds < threshold:
@@ -972,13 +1395,17 @@ class PublishingService:
             self._slow_candidates += 1
             sampled = (self._slow_candidates - 1) % self.slow_query_sample == 0
         if sampled:
-            self.events.record(
-                SLOW_QUERY,
-                query=query.name,
-                seconds=seconds,
-                rows=rows,
-                threshold=threshold,
-            )
+            details: Dict[str, object] = {
+                "query": query.name,
+                "seconds": seconds,
+                "rows": rows,
+                "threshold": threshold,
+            }
+            if phases:
+                # Where the time went, phase by phase — the difference
+                # between "the query was slow" and "the pool was starved".
+                details["phases"] = dict(phases)
+            self.events.record(SLOW_QUERY, **details)
 
     def slow_queries(self):
         """The sampled slow-query events retained in the event log."""
@@ -1075,10 +1502,24 @@ class PublishingService:
                         lsn = self._write_lsn + 1
                         refresh = self._finish_update(changeset, lsn)
             root.annotate(lsn=lsn)
+        seconds = clock.stop()
         self._m_updates.inc()
-        self._m_update_latency.observe(clock.stop())
+        self._m_update_latency.observe(seconds)
         if tracked.enabled:
             self.last_trace = tracked
+            self.trace_buffer.record(tracked)
+        if self.audit is not None:
+            phases = phase_breakdown(tracked.root) if tracked.enabled else {}
+            self.audit.record(
+                {
+                    "ts": time.time(),
+                    "kind": "update",
+                    "lsn": lsn,
+                    "changes": len(changeset.changes),
+                    "seconds": seconds,
+                    "phases": phases,
+                }
+            )
         if refresh:
             # Outside the gate: collecting statistics sweeps every table
             # and must not hold publishes (or a waiting rebalance) up.
@@ -1363,6 +1804,17 @@ class PublishingService:
             log_stats = log.stats()
             log_segments += log_stats.segments
             log_bytes += log_stats.size_bytes
+        # The package version is read lazily (repro.serve is imported
+        # while the repro package is still initialising, so a module-load
+        # read would see a half-built package).
+        import repro
+
+        version = getattr(repro, "__version__", "unknown")
+        uptime = self._started_clock.elapsed
+        slo_entries = (
+            tuple(self.slo.report()) if self.slo is not None else ()
+        )
+        audit_stats = self.audit.stats() if self.audit is not None else None
         if self.pool is not None:
             return ServiceStats(
                 queries_served=served,
@@ -1380,6 +1832,11 @@ class PublishingService:
                 events_dropped=dropped,
                 log_segments=log_segments,
                 log_size_bytes=log_bytes,
+                started_at=self.started_at,
+                uptime_seconds=uptime,
+                version=version,
+                slo=slo_entries,
+                audit=audit_stats,
             )
         per_shard = tuple(pool.stats() for pool in self.shard_pools)
         aggregate = PoolStats(
@@ -1413,6 +1870,11 @@ class PublishingService:
             events_dropped=dropped,
             log_segments=log_segments,
             log_size_bytes=log_bytes,
+            started_at=self.started_at,
+            uptime_seconds=uptime,
+            version=version,
+            slo=slo_entries,
+            audit=audit_stats,
         )
 
     def metrics(self, fmt: str = "prometheus") -> str:
@@ -1500,6 +1962,11 @@ class PublishingService:
                         "cannot close PublishingService: publishes still in "
                         "flight (wait for them, or close(force=True))"
                     )
+        # The admin endpoint goes first: once teardown starts, a scrape
+        # must not race half-closed storage (probes hitting the dead port
+        # read connection-refused, the unambiguous "down").
+        if self.admin is not None:
+            self.admin.stop()
         # The repair loop must stop before storage goes away (a repair
         # racing the teardown would clone from closing replicas).
         if self._repair_loop is not None:
@@ -1511,8 +1978,12 @@ class PublishingService:
         for pool in pools:
             pool.close(force=force)
         self._closed = True
-        # Seal the durable logs after the pools (a forced pool teardown
-        # may still sync a clone) and before the template disappears.
+        # Seal the audit log after the last acknowledgeable request (the
+        # pools are closed, nothing can publish), then the durable logs
+        # after the pools (a forced pool teardown may still sync a clone)
+        # and before the template disappears.
+        if self.audit is not None:
+            self.audit.close()
         self._close_logs()
         self._close_template()
 

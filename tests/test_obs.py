@@ -719,3 +719,153 @@ class TestServiceCostFeedback:
             assert len(service.cost_feedback) == 0
             refreshes = service.events.events(STATISTICS_REFRESH)
             assert refreshes[-1].details["reason"] == "misestimation"
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition edge cases
+# ----------------------------------------------------------------------
+class TestExpositionEdgeCases:
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge(
+            "demo_escape_ratio", "label-escaping fixture", labels=("path",)
+        )
+        nasty = 'a"b\\c\nend'
+        gauge.labels(path=nasty).set(1.0)
+        text = registry.render_prometheus()
+        line = next(
+            l for l in text.splitlines() if l.startswith("demo_escape_ratio{")
+        )
+        # The exposition stays one physical line: backslash, quote and
+        # newline all arrive as their escape sequences.
+        assert line == 'demo_escape_ratio{path="a\\"b\\\\c\\nend"} 1'
+        # And the escaping round-trips: un-escaping recovers the value.
+        start = line.index('"') + 1
+        end = line.rindex('"')
+        unescaped = (
+            line[start:end]
+            .replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+        assert unescaped == nasty
+
+    def test_empty_histogram_exports_zero_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("demo_idle_seconds", "never observed")
+        assert histogram.quantile(0.99) == 0.0
+        assert histogram.quantile(0.50) == 0.0
+        text = registry.render_prometheus()
+        assert "demo_idle_seconds_count 0" in text
+        assert "demo_idle_seconds_sum 0" in text
+        exported = json.loads(registry.to_json())
+        values = exported["demo_idle_seconds"]["values"][0]
+        assert values["count"] == 0
+        assert values["p50"] == 0.0 and values["p99"] == 0.0
+
+    def test_collector_exceptions_surface_loudly(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_fine_total", "unaffected metric").inc()
+
+        def broken_collector():
+            raise KeyError("stats went away")
+
+        registry.add_collector(broken_collector)
+        with pytest.raises(RuntimeError, match="broken_collector"):
+            registry.render_prometheus()
+        with pytest.raises(RuntimeError, match="stats went away"):
+            registry.to_json()
+
+
+# ----------------------------------------------------------------------
+# EventLog tail and lifetime counts
+# ----------------------------------------------------------------------
+class TestEventLogTail:
+    def test_tail_returns_newest_n_oldest_first(self):
+        log = EventLog(maxlen=16)
+        for i in range(10):
+            log.record("tick", index=i)
+        tail = log.tail(3)
+        assert [event.details["index"] for event in tail] == [7, 8, 9]
+        assert log.tail(0) == ()
+        assert log.tail(-5) == ()
+        # Asking for more than retained returns everything retained.
+        assert len(log.tail(99)) == 10
+
+    def test_tail_filters_by_kind_before_counting(self):
+        log = EventLog(maxlen=16)
+        for i in range(4):
+            log.record("a", index=i)
+            log.record("b", index=i)
+        tail = log.tail(2, kind="a")
+        assert [event.kind for event in tail] == ["a", "a"]
+        assert [event.details["index"] for event in tail] == [2, 3]
+
+    def test_counts_survive_ring_eviction(self):
+        log = EventLog(maxlen=2)
+        for _ in range(5):
+            log.record("evicted")
+        log.record("kept")
+        assert len(log) == 2
+        assert log.counts() == {"evicted": 5, "kept": 1}
+
+
+# ----------------------------------------------------------------------
+# Slow-query phase breakdown and snapshot round trip
+# ----------------------------------------------------------------------
+class TestServiceOperationalStats:
+    def test_slow_query_events_carry_phase_breakdown(self):
+        with PublishingService(
+            medical.build_configuration(),
+            pool_size=1,
+            slow_query_seconds=0.0,
+        ) as service:
+            service.publish(medical.client_query())
+            events = service.slow_queries()
+            assert events
+            phases = events[-1].details["phases"]
+            assert phases["reformulate"] > 0.0
+            assert phases["execute"] > 0.0
+            # Attribution is from the span tree when tracing is on.
+            assert set(phases) <= {
+                "reformulate",
+                "route",
+                "acquire",
+                "execute",
+                "merge",
+                "apply",
+                "log.append",
+            }
+
+    def test_slow_query_phases_without_tracing_fall_back_to_timers(self):
+        with PublishingService(
+            medical.build_configuration(),
+            pool_size=1,
+            tracing=False,
+            slow_query_seconds=0.0,
+        ) as service:
+            service.publish(medical.client_query())
+            phases = service.slow_queries()[-1].details["phases"]
+            assert set(phases) == {"reformulate", "execute"}
+
+    def test_snapshot_reports_uptime_version_and_round_trips_as_json(self):
+        import repro
+
+        with PublishingService(
+            medical.build_configuration(), pool_size=1
+        ) as service:
+            service.publish(medical.client_query())
+            snapshot = service.stats().snapshot()
+            restored = json.loads(json.dumps(snapshot))
+            assert restored == snapshot
+            assert restored["version"] == repro.__version__
+            assert restored["uptime_seconds"] >= 0.0
+            # started_at is ISO-8601 with an explicit UTC offset.
+            from datetime import datetime
+
+            parsed = datetime.fromisoformat(restored["started_at"])
+            assert parsed.tzinfo is not None
+            # A later snapshot has strictly advanced uptime.
+            later = service.stats().snapshot()
+            assert later["uptime_seconds"] >= restored["uptime_seconds"]
+            assert later["started_at"] == restored["started_at"]

@@ -1,7 +1,17 @@
 #!/usr/bin/env python3
-"""Lint metric-name literals in the source tree.
+"""Lint metric-name literals in the source tree, or a live scrape.
 
 Usage:  python tools/check_metrics.py [SRC_DIR ...]   (default: src/)
+        python tools/check_metrics.py --scrape [FILE | -]
+
+With ``--scrape`` the input is a Prometheus text exposition (a captured
+``GET /metrics`` body; ``-`` reads stdin) and the lint checks the wire
+format instead of the source: every sample line parses, belongs to a
+``# TYPE``-declared family (histogram samples may carry the ``_bucket``/
+``_sum``/``_count`` suffixes and ``le`` label), every family name passes
+the same validator as the source lint, every value is a float, and no
+family is declared twice.  The CI endpoint-smoke leg pipes a live scrape
+through this mode.
 
 Finds every ``registry.counter("...")`` / ``.gauge("...")`` /
 ``.histogram("...")`` registration in the given source trees and checks,
@@ -49,7 +59,97 @@ def scan(root: Path):
             yield path, line, match.group(1), match.group(2)
 
 
+#: One exposition sample: name, optional {labels}, value (and nothing
+#: else — this exporter emits no timestamps).
+SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$"
+)
+
+#: Per-family sample-name suffixes the histogram kind adds on the wire.
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def lint_scrape(text: str):
+    """Every violation in one Prometheus text exposition, as messages."""
+    failures = []
+    typed = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        where = f"line {number}"
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                failures.append(f"{where}: malformed TYPE line {line!r}")
+                continue
+            name, kind = parts[2], parts[3]
+            if name in typed:
+                failures.append(f"{where}: family {name!r} declared twice")
+                continue
+            try:
+                validate_metric_name(name, kind)
+            except ValueError as error:
+                failures.append(f"{where}: {error}")
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = SAMPLE.match(line)
+        if match is None:
+            failures.append(f"{where}: unparseable sample {line!r}")
+            continue
+        sample_name, _labels, value = match.groups()
+        family = sample_name
+        if family not in typed:
+            for suffix in HISTOGRAM_SUFFIXES:
+                base = family[: -len(suffix)] if family.endswith(suffix) else None
+                if base and typed.get(base) == "histogram":
+                    family = base
+                    break
+        if family not in typed:
+            failures.append(
+                f"{where}: sample {sample_name!r} has no # TYPE declaration"
+            )
+        elif family != sample_name and typed[family] != "histogram":
+            failures.append(
+                f"{where}: {sample_name!r} suffixed like a histogram sample "
+                f"but {family!r} is a {typed[family]}"
+            )
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                failures.append(
+                    f"{where}: sample {sample_name!r} value {value!r} is not "
+                    "a number"
+                )
+    if not typed:
+        failures.append("scrape declares no metric families at all")
+    return failures, len(typed)
+
+
+def scrape_main(arguments) -> int:
+    source = arguments[0] if arguments else "-"
+    if source == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(source).read_text(encoding="utf-8")
+    failures, families = lint_scrape(text)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} scrape violation(s)", file=sys.stderr)
+        return 1
+    print(
+        f"scrape is valid Prometheus text: {families} family(ies), every "
+        "sample typed, named and numeric"
+    )
+    return 0
+
+
 def main(arguments) -> int:
+    if arguments and arguments[0] == "--scrape":
+        return scrape_main(arguments[1:])
     roots = [Path(name) for name in arguments] or [
         Path(__file__).resolve().parent.parent / "src"
     ]

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""``top`` for a MARS publishing service: poll /stats, render a live table.
+
+Usage:  python tools/mars_top.py [--url http://127.0.0.1:PORT] \
+            [--interval SECONDS] [--once]
+
+Polls the admin endpoint's ``/stats`` and ``/health`` routes (see
+``docs/OBSERVABILITY.md``) and renders one screen per poll: service
+identity and uptime, the health verdict with its reasons, serving and
+write-path counters, pool and replica occupancy, and — when SLO tracking
+is on — the hot-fingerprint table sorted by error-budget burn.
+
+``--once`` prints a single snapshot and exits (scripts and tests);
+without it the screen refreshes every ``--interval`` seconds until
+interrupted.  Stdlib only; exits 1 when the endpoint is unreachable.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+DEFAULT_URL = "http://127.0.0.1:9780"
+
+
+def fetch(url: str, timeout: float = 5.0):
+    """One JSON document from *url* (raises ``urllib.error.URLError``)."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def fetch_health(base: str, timeout: float = 5.0):
+    """/health parses the same on 200 (healthy/degraded) and 503."""
+    try:
+        return fetch(base + "/health", timeout=timeout)
+    except urllib.error.HTTPError as error:
+        if error.code == 503:
+            return json.loads(error.read().decode("utf-8"))
+        raise
+
+
+def _bar(label: str, value, width: int = 24) -> str:
+    return f"  {label:<28} {value}"
+
+
+def render_snapshot(stats, health) -> str:
+    """One screenful of operator-facing text from the two JSON bodies."""
+    lines = []
+    status = health.get("status", "unknown") if health else "unknown"
+    marker = {"healthy": "OK", "degraded": "!!", "unhealthy": "XX"}.get(
+        status, "??"
+    )
+    uptime = stats.get("uptime_seconds", 0.0)
+    lines.append(
+        f"mars {stats.get('version', '?')}  up {uptime:,.0f}s  "
+        f"health [{marker}] {status}"
+    )
+    for check in (health or {}).get("checks", ()):
+        if check.get("status") != "healthy":
+            lines.append(
+                f"    {check['name']}: {check['status']}"
+                + (f" — {check['reason']}" if check.get("reason") else "")
+            )
+    lines.append("")
+    lines.append(_bar("queries served", f"{stats.get('queries_served', 0):,}"))
+    lines.append(
+        _bar("updates applied", f"{stats.get('updates_applied', 0):,}")
+        + f"   (write LSN {stats.get('last_write_lsn', 0)})"
+    )
+    cache = stats.get("cache", {})
+    lines.append(
+        _bar(
+            "plan cache",
+            f"{cache.get('entries', 0)} plan(s), "
+            f"{cache.get('hit_rate', 0.0):.0%} hit rate",
+        )
+    )
+    pool = stats.get("pool", {})
+    lines.append(
+        _bar(
+            "pool",
+            f"{pool.get('in_use', 0)}/{pool.get('size', 0)} in use, "
+            f"{pool.get('checkouts', 0):,} checkout(s), "
+            f"{pool.get('rejections', 0)} rejection(s), "
+            f"{pool.get('stale_rebuilds', 0)} stale rebuild(s)",
+        )
+    )
+    replicas = stats.get("replicas")
+    if replicas:
+        lines.append(
+            _bar(
+                "replicas",
+                f"{replicas.get('live_replicas', 0)}/"
+                f"{replicas.get('replica_count', 0)} live, "
+                f"{replicas.get('failovers', 0)} failover(s), "
+                f"{replicas.get('fenced', 0)} fenced",
+            )
+        )
+    audit = stats.get("audit")
+    if audit:
+        lines.append(
+            _bar(
+                "audit log",
+                f"{audit.get('records', 0):,} record(s) in "
+                f"{audit.get('files', 0)} file(s)",
+            )
+        )
+    slo = stats.get("slo") or []
+    if slo:
+        lines.append("")
+        lines.append(
+            f"  {'query':<24} {'reqs':>7} {'viol':>5} "
+            f"{'p99(s)':>9} {'target':>8} {'burn':>7}"
+        )
+        for entry in slo:
+            burn = entry.get("budget_burn", 0.0)
+            flag = " <-- breaching" if entry.get("breached") else ""
+            lines.append(
+                f"  {entry.get('key', '?')[:24]:<24} "
+                f"{entry.get('requests', 0):>7,} "
+                f"{entry.get('violations', 0):>5,} "
+                f"{entry.get('window_p99_seconds', 0.0):>9.4f} "
+                f"{entry.get('target_p99_seconds', 0.0):>8.3f} "
+                f"{burn:>7.2f}{flag}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="live operational view of a MARS publishing service"
+    )
+    parser.add_argument(
+        "--url",
+        default=DEFAULT_URL,
+        help=f"admin endpoint base URL (default {DEFAULT_URL})",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit",
+    )
+    args = parser.parse_args(argv)
+    base = args.url.rstrip("/")
+    while True:
+        try:
+            stats = fetch(base + "/stats")
+            health = fetch_health(base)
+        except (urllib.error.URLError, OSError) as error:
+            print(f"mars_top: {base} unreachable: {error}", file=sys.stderr)
+            return 1
+        screen = render_snapshot(stats, health)
+        if args.once:
+            print(screen)
+            return 0
+        # ANSI clear + home, the portable-enough terminal refresh.
+        sys.stdout.write("\x1b[2J\x1b[H" + screen + "\n")
+        sys.stdout.flush()
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,6 +104,13 @@ class MarsConfiguration:
         self.log_dir: Optional[str] = os.environ.get("MARS_LOG_DIR") or None
         self.log_fsync: str = "always"
         self.log_segment_bytes: int = 1 << 20
+        # Persistent plan artifacts.  With plan_dir set (or the
+        # MARS_PLAN_DIR environment variable), compiled reformulations are
+        # written to that directory as canonical plan artifacts
+        # (repro.plan) and a restarted service serves previously compiled
+        # queries without re-entering the C&B engine; None keeps plans
+        # in-process only.
+        self.plan_dir: Optional[str] = os.environ.get("MARS_PLAN_DIR") or None
         # Operational surface (repro.obs.http / audit / slo).  admin_port
         # None keeps the admin HTTP endpoint off; 0 binds an ephemeral
         # port (published as service.admin_port after start); the

@@ -23,6 +23,14 @@ from ..engine.cost import CostEstimator, SimpleCostEstimator
 from ..errors import ReformulationError
 from ..logical.dependencies import DED
 from ..logical.queries import ConjunctiveQuery
+from ..plan import (
+    CanonicalFormError,
+    PlanStore,
+    canonical_reformulation,
+    configuration_fingerprint,
+    plan_identity,
+    reformulation_from_canonical,
+)
 from ..storage.sql import render_sql
 from ..xbind.query import XBindQuery
 from .configuration import MarsConfiguration
@@ -38,6 +46,7 @@ class MarsSystem:
         estimator: Optional[CostEstimator] = None,
         cb_config: Optional[CBConfig] = None,
         plan_cache: Optional[object] = None,
+        plan_store: Optional[PlanStore] = None,
     ):
         self.configuration = configuration
         self.cb_config = cb_config or CBConfig()
@@ -48,6 +57,17 @@ class MarsSystem:
         # skips compilation, chase and backchase entirely.  None (the
         # default) preserves uncached behaviour.
         self.plan_cache = plan_cache
+        # An optional disk-backed repro.plan.PlanStore consulted between
+        # the in-process cache and the C&B engine.  A store hit decodes
+        # the canonical artifact, re-ranks it under the current cost
+        # model and re-renders SQL — no chase, no backchase; a fresh
+        # compile is written back as an artifact.  Damage degrades to a
+        # recompile, never to a wrong plan.
+        self.plan_store = plan_store
+        # Entries into the C&B engine (chase + backchase runs).  Cache and
+        # store hits do not count: the restart-warm acceptance check — and
+        # anyone measuring what the store actually saves — keys on this.
+        self.engine_invocations = 0
         # Two estimators play different roles.  The *engine* estimator must
         # be cheap AND monotone: the backchase estimates the cost of every
         # candidate subquery and prunes supersets of expensive ones, which
@@ -98,6 +118,15 @@ class MarsSystem:
         # rebuilding a CBEngine per reformulate() call is wasteful.
         self._override_engines: Dict[bool, CBEngine] = {}
         self._compiled_version = configuration.version
+        # The content fingerprint of what was just compiled: plan-artifact
+        # identities embed it, so artifacts from an older correspondence
+        # are unreachable by construction.
+        self._configuration_digest = configuration_fingerprint(
+            configuration.version,
+            self._dependencies,
+            self._target_relations,
+            self.cb_config,
+        )
 
     def _recompile(self) -> None:
         """React to a configuration edit: refresh artifacts, flush stale plans.
@@ -120,6 +149,11 @@ class MarsSystem:
         evict = getattr(self.plan_cache, "evict_where", None)
         if evict is not None:
             evict(lambda key: key[0] != current)
+        if self.plan_store is not None:
+            # On-disk artifacts of the old correspondence are already
+            # unreachable (identities embed the configuration digest);
+            # pruning reclaims the directory.
+            self.plan_store.prune_stale(self._configuration_digest)
 
     def attach_statistics(self, catalog: StatisticsCatalog) -> None:
         """Plan against *catalog* (normally collected from a live backend).
@@ -147,6 +181,15 @@ class MarsSystem:
 
     # ------------------------------------------------------------------
     @property
+    def configuration_digest(self) -> str:
+        """The content fingerprint of the compiled configuration.
+
+        Plan-artifact identities embed it; the golden-plan tooling reads
+        it to label which correspondence a golden was compiled under.
+        """
+        return self._configuration_digest
+
+    @property
     def dependencies(self) -> List[DED]:
         """The compiled DEDs of the configuration (TIX, XICs, views, keys)."""
         return list(self._dependencies)
@@ -158,6 +201,85 @@ class MarsSystem:
     def compile_query(self, query: XBindQuery) -> ConjunctiveQuery:
         """Compile a client XBind query into a conjunctive query over GReX."""
         return self._compiler.compile_xbind(query)
+
+    # ------------------------------------------------------------------
+    def _rank_and_render(self, best, minimal, engine_best_cost):
+        """Price the candidate field and render SQL for the winner.
+
+        The one place plan selection happens, shared by fresh compiles
+        and store loads: with the statistics-fed cost model, every
+        minimal reformulation is ranked and the cheapest wins; with an
+        injected estimator the engine's (or, for a loaded plan, the
+        estimator's own) cost stands.  Returns ``(best, best_cost,
+        cost_estimate, candidate_costs, sql)``.
+        """
+        best_cost = engine_best_cost
+        cost_estimate = None
+        candidate_costs: tuple = ()
+        if best is not None:
+            if self.cost_model is not None:
+                # Final plan selection: rank every minimal reformulation
+                # with the statistics-fed cost model.  The engine's
+                # monotone estimator already guided the backchase
+                # pruning; this pass is where join selectivities and
+                # access weights pick the winner among the survivors
+                # (stable on ties, so the incoming order breaks them
+                # deterministically).
+                pool = list(minimal) or [best]
+                ranked = self.cost_model.rank(pool)
+                cost_estimate, best = ranked[0]
+                best_cost = cost_estimate.total
+                candidate_costs = tuple(
+                    (candidate.name, estimate.total)
+                    for estimate, candidate in ranked
+                )
+            elif engine_best_cost is None:
+                # Injected estimator pricing a loaded plan: the artifact
+                # carries no costs, so ask the estimator directly.
+                best_cost = self.estimator.estimate(best)
+        sql = None
+        if best is not None:
+            sql = render_sql(best, self.configuration.relational_schema)
+        return best, best_cost, cost_estimate, candidate_costs, sql
+
+    def _load_from_store(
+        self, identity: str, query: XBindQuery
+    ) -> Optional[MarsReformulation]:
+        """Rebuild a servable reformulation from the plan store, or ``None``.
+
+        A decodable artifact comes back re-ranked under the *current*
+        cost model and with freshly rendered SQL — the store persists
+        what the compile proved, never what yesterday's statistics
+        preferred.  An artifact whose JSON parsed but whose body cannot
+        be rebuilt is quarantined exactly like torn bytes.
+        """
+        artifact = self.plan_store.load(identity)
+        if artifact is None:
+            return None
+        try:
+            reformulation = reformulation_from_canonical(artifact, query)
+        except CanonicalFormError as error:
+            self.plan_store.mark_corrupt(identity, reason=str(error))
+            return None
+        best, best_cost, cost_estimate, candidate_costs, sql = (
+            self._rank_and_render(reformulation.best, reformulation.minimal, None)
+        )
+        reformulation.best = best
+        reformulation.best_cost = 0.0 if best_cost is None else best_cost
+        reformulation.cost_estimate = cost_estimate
+        reformulation.candidate_costs = candidate_costs
+        reformulation.sql = sql
+        return reformulation
+
+    def _save_to_store(
+        self, identity: str, reformulation: MarsReformulation, minimize: bool
+    ) -> None:
+        """Persist a freshly compiled plan as a canonical artifact."""
+        artifact = canonical_reformulation(reformulation)
+        artifact["configuration"] = self._configuration_digest
+        artifact["query_digest"] = reformulation.query.fingerprint_digest()
+        artifact["minimize"] = bool(minimize)
+        self.plan_store.save(identity, artifact)
 
     # ------------------------------------------------------------------
     def reformulate(
@@ -186,14 +308,24 @@ class MarsSystem:
         its version: the next call recompiles the derived artifacts and
         flushes every cache entry of the older version, so a stale plan
         cannot survive a configuration edit.
+
+        With a :attr:`plan_store` attached, a cache miss consults the
+        disk-backed store before compiling: the content-derived identity
+        (query fingerprint digest + configuration fingerprint + minimize
+        mode) addresses a canonical artifact that decodes into the same
+        plan a fresh compile would produce — re-ranked under the current
+        cost model, with freshly rendered SQL, and without entering the
+        C&B engine (:attr:`engine_invocations` does not move).  Fresh
+        compiles are written back; stale or damaged artifacts fall back
+        to compilation.
         """
         if self.configuration.version != self._compiled_version:
             self._recompile()
+        effective_minimize = (
+            self.cb_config.minimize if minimize is None else minimize
+        )
         cache_key = None
         if self.plan_cache is not None:
-            effective_minimize = (
-                self.cb_config.minimize if minimize is None else minimize
-            )
             cache_key = (
                 self._compiled_version,
                 query.fingerprint(),
@@ -202,6 +334,20 @@ class MarsSystem:
             cached = self.plan_cache.get(cache_key)
             if cached is not None:
                 return cached
+        identity = None
+        if self.plan_store is not None:
+            # The identity is a function of the compile's *inputs* — this
+            # lookup costs a digest and a file read, never a compile.
+            identity = plan_identity(
+                query.fingerprint_digest(),
+                self._configuration_digest,
+                effective_minimize,
+            )
+            loaded = self._load_from_store(identity, query)
+            if loaded is not None:
+                if cache_key is not None:
+                    self.plan_cache.put(cache_key, loaded)
+                return loaded
         compiled = self.compile_query(query)
         engine = self._engine
         if minimize is not None and minimize != self.cb_config.minimize:
@@ -212,35 +358,22 @@ class MarsSystem:
                     config=config, estimator=self.estimator, specs=self._specs
                 )
                 self._override_engines[minimize] = engine
+        self.engine_invocations += 1
         result = engine.reformulate(
             compiled, self._dependencies, target_relations=self._target_relations
         )
-        best = result.best
-        best_cost = result.best_cost
-        cost_estimate = None
-        candidate_costs: tuple = ()
-        if self.cost_model is not None and best is not None:
-            # Final plan selection: rank every minimal reformulation with
-            # the statistics-fed cost model.  The engine's monotone
-            # estimator already guided the backchase pruning; this pass is
-            # where join selectivities and access weights pick the winner
-            # among the survivors (stable on ties, so the engine's order
-            # breaks them deterministically).
-            pool = list(result.minimal_reformulations) or [best]
-            ranked = self.cost_model.rank(pool)
-            cost_estimate, best = ranked[0]
-            best_cost = cost_estimate.total
-            candidate_costs = tuple(
-                (candidate.name, estimate.total) for estimate, candidate in ranked
+        best, best_cost, cost_estimate, candidate_costs, sql = (
+            self._rank_and_render(
+                result.best, result.minimal_reformulations, result.best_cost
             )
-        sql = None
-        if best is not None:
-            sql = render_sql(best, self.configuration.relational_schema)
+        )
         reformulation = MarsReformulation.from_cb_result(query, compiled, result, sql)
         reformulation.best = best
         reformulation.best_cost = best_cost
         reformulation.cost_estimate = cost_estimate
         reformulation.candidate_costs = candidate_costs
+        if identity is not None:
+            self._save_to_store(identity, reformulation, effective_minimize)
         if cache_key is not None:
             # Negative results are cached too: "no reformulation exists" is
             # just as expensive to recompute.

@@ -41,6 +41,9 @@ from .events import (
     EventLog,
     LOG_CHECKPOINT,
     LOG_RECOVERED,
+    PLAN_CORRUPT,
+    PLAN_LOADED,
+    PLAN_STALE,
     POOL_CLONE_REPLACED,
     REBALANCE_COPY,
     REBALANCE_CUTOVER,
@@ -108,6 +111,9 @@ __all__ = [
     "Histogram",
     "LOG_CHECKPOINT",
     "LOG_RECOVERED",
+    "PLAN_CORRUPT",
+    "PLAN_LOADED",
+    "PLAN_STALE",
     "METRICS_CONTENT_TYPE",
     "MetricsRegistry",
     "NULL_SPAN",

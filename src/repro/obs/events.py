@@ -44,6 +44,11 @@ SLOW_QUERY = "query.slow"
 REPLICA_REPAIRED = "replica.repaired"
 LOG_RECOVERED = "log.recovered"
 LOG_CHECKPOINT = "log.checkpoint"
+# Plan-store load outcomes (values mirrored in ``repro.plan.store``,
+# which cannot import this package).
+PLAN_LOADED = "plan_store.loaded"
+PLAN_STALE = "plan_store.stale"
+PLAN_CORRUPT = "plan_store.corrupt"
 
 
 @dataclass(frozen=True)

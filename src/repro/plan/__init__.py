@@ -1,0 +1,76 @@
+"""Canonical plan artifacts and the persistent plan store.
+
+Compiling one reformulation runs the full Chase & Backchase — orders of
+magnitude more than executing it — and until this package existed the
+result lived only in an in-process LRU cache: every restart of every
+fleet member recompiled every plan from scratch.  This package makes a
+compiled plan a *durable, shareable artifact* with a stable identity:
+
+* :mod:`~repro.plan.stable_json` — the byte-deterministic JSON encoding
+  (sorted keys, fixed separators, ASCII, finite numbers only) every
+  artifact is serialized and hashed through;
+* :mod:`~repro.plan.canonical` — the normative canonical form of
+  queries and reformulations: positional variable renaming, sorted atom
+  order, symmetric-atom normalization, derived artifacts (timings, cost
+  annotations, SQL) excluded;
+* :mod:`~repro.plan.identity` — the content-derived identity hash over
+  the compile's *inputs* (query fingerprint, configuration fingerprint,
+  engine mode, format version), computable before any compile work;
+* :mod:`~repro.plan.store` — the disk-backed :class:`PlanStore`
+  (``<identity>.json`` artifacts, tmp+rename writes, corruption-
+  tolerant loads, stale pruning).
+
+``MarsSystem.reformulate`` consults an attached store between the plan
+cache and the C&B engine; ``PublishingService(plan_dir=...)`` (or the
+``MARS_PLAN_DIR`` environment variable) wires one in, so a restarted
+service serves warm plans with zero engine entries.  The golden-plan
+suite (``tests/test_plan_determinism.py`` + ``tests/golden_plans/``)
+locks the canonical identities of the workload queries across refactors.
+"""
+
+from .canonical import (
+    ARTIFACT_FORMAT,
+    CanonicalFormError,
+    canonical_ded,
+    canonical_query,
+    canonical_reformulation,
+    canonical_xbind,
+    query_from_canonical,
+    reformulation_from_canonical,
+    xbind_from_canonical,
+)
+from .identity import (
+    configuration_fingerprint,
+    fingerprint_digest,
+    plan_identity,
+)
+from .stable_json import stable_dumps, stable_loads
+from .store import (
+    PLAN_CORRUPT,
+    PLAN_LOADED,
+    PLAN_STALE,
+    PlanStore,
+    PlanStoreStats,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "CanonicalFormError",
+    "PLAN_CORRUPT",
+    "PLAN_LOADED",
+    "PLAN_STALE",
+    "PlanStore",
+    "PlanStoreStats",
+    "canonical_ded",
+    "canonical_query",
+    "canonical_reformulation",
+    "canonical_xbind",
+    "configuration_fingerprint",
+    "fingerprint_digest",
+    "plan_identity",
+    "query_from_canonical",
+    "reformulation_from_canonical",
+    "stable_dumps",
+    "stable_loads",
+    "xbind_from_canonical",
+]

@@ -1,0 +1,81 @@
+"""Byte-stable JSON encoding for plan artifacts.
+
+Canonical plan artifacts are compared and hashed as *bytes*: two
+processes compiling the same query against the same configuration must
+serialize the identical document, or the content-derived identity (and
+every golden-plan test built on it) falls apart.  ``json.dumps`` is
+deterministic only if it is pinned down, so this module is the single
+place the pinning happens:
+
+* keys are sorted, so dict insertion order (the thing ``PYTHONHASHSEED``
+  shuffles indirectly through set/dict iteration) never leaks into the
+  output;
+* separators are compact and fixed — no whitespace for a formatter to
+  disagree about;
+* output is pure ASCII (``ensure_ascii``), so the bytes are the same
+  regardless of locale or the writer's encoding defaults;
+* ``NaN``/``Infinity`` are rejected outright: they are not JSON, they
+  do not round-trip, and a timing-derived float sneaking into an
+  artifact is exactly the bug the canonical form exists to exclude;
+* dict keys must already be strings — ``json`` silently coerces int
+  keys, which would make ``{1: "a"}`` and ``{"1": "a"}`` collide.
+
+Every artifact byte written or hashed by :mod:`repro.plan` goes through
+:func:`stable_dumps`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+__all__ = ["stable_dumps", "stable_loads"]
+
+
+def _validate(value: Any) -> None:
+    """Reject values that would serialize ambiguously or lossily."""
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"stable JSON requires string keys, got {type(key).__name__} "
+                    f"key {key!r}"
+                )
+            _validate(item)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _validate(item)
+    elif isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(
+                f"stable JSON cannot encode non-finite float {value!r}"
+            )
+    elif isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        pass
+    else:
+        raise TypeError(
+            f"stable JSON cannot encode {type(value).__name__}: {value!r}"
+        )
+
+
+def stable_dumps(value: Any) -> str:
+    """Serialize *value* to the one canonical JSON text for its content.
+
+    Sorted keys, compact separators, ASCII-only, finite numbers only.
+    Tuples encode as arrays (they decode back as lists — canonical forms
+    never rely on the distinction).
+    """
+    _validate(value)
+    return json.dumps(
+        value,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def stable_loads(text: str) -> Any:
+    """Parse a canonical JSON document (plain :func:`json.loads`)."""
+    return json.loads(text)

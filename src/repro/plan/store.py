@@ -1,0 +1,287 @@
+"""The disk-backed plan store: compiled reformulations as durable artifacts.
+
+Every process restart used to pay the full Chase & Backchase for every
+query it serves — the plan cache is an in-process structure and dies with
+the process.  :class:`PlanStore` turns a finished compile into a file:
+one ``<identity>.json`` artifact per plan under a store directory, where
+the identity is the content-derived hash of the compile's *inputs* (see
+:mod:`repro.plan.identity`) and the body is the canonical form of its
+*output* (see :mod:`repro.plan.canonical`).  A restarted service pointed
+at the same directory — or a fleet member sharing it — answers previously
+compiled queries without ever entering the C&B engine.
+
+Durability discipline follows the mutation log's:
+
+* **writes are tmp + rename**: an artifact is visible under its final
+  name only once its bytes are complete, so a crashed writer leaves a
+  ``.tmp`` straggler, never a half-readable plan;
+* **loads are corruption-tolerant**: unreadable bytes, malformed JSON, a
+  wrong embedded identity or an unknown format version all count and
+  quarantine the file (renamed aside as ``.corrupt``), and the caller
+  falls back to a fresh compile — a damaged store degrades to cold
+  starts, it never serves a wrong plan and never takes serving down;
+* **stale artifacts are unreachable by construction**: a view/constraint
+  edit changes the configuration fingerprint and therefore every
+  identity, so old artifacts simply stop being addressed;
+  :meth:`prune_stale` deletes them once a new configuration is compiled.
+
+The store is safe for concurrent writers on one filesystem (renames are
+atomic; last writer wins with byte-identical content, by the determinism
+guarantee).  Counters are surfaced through :meth:`stats` and, when the
+owning service wires one in, every load outcome is recorded on the
+:attr:`events` log as ``plan_store.loaded`` / ``plan_store.stale`` /
+``plan_store.corrupt``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..errors import StorageError
+from .canonical import ARTIFACT_FORMAT
+from .stable_json import stable_dumps, stable_loads
+
+#: Event kinds the store records (mirrored in ``repro.obs.events``).
+PLAN_LOADED = "plan_store.loaded"
+PLAN_STALE = "plan_store.stale"
+PLAN_CORRUPT = "plan_store.corrupt"
+
+_IDENTITY_CHARS = frozenset("0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class PlanStoreStats:
+    """Lifetime counters plus the on-disk artifact count."""
+
+    directory: str
+    #: Artifacts currently on disk (counted at snapshot time).
+    artifacts: int
+    #: Loads that returned a valid artifact.
+    hits: int
+    #: Loads that found no artifact under the identity.
+    misses: int
+    #: Artifacts written (tmp + rename completions).
+    writes: int
+    #: Writes that failed (disk full, permissions); serving continues cold.
+    write_errors: int
+    #: Artifacts quarantined because their bytes could not be trusted.
+    corrupt: int
+    #: Artifacts deleted by :meth:`PlanStore.prune_stale`.
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "directory": self.directory,
+            "artifacts": self.artifacts,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+            "corrupt": self.corrupt,
+            "invalidations": self.invalidations,
+        }
+
+
+class PlanStore:
+    """A directory of canonical plan artifacts keyed by content identity."""
+
+    def __init__(self, directory: os.PathLike, events: Optional[Any] = None):
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise StorageError(
+                f"cannot create plan store directory {self.directory}: {error}"
+            ) from error
+        #: An ``EventLog``-shaped recorder (``record(kind, **details)``);
+        #: the owning service points this at its own log.
+        self.events = events
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._write_errors = 0
+        self._corrupt = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, identity: str) -> Path:
+        if not identity or not set(identity) <= _IDENTITY_CHARS:
+            raise StorageError(
+                f"malformed plan identity {identity!r} (expected lowercase hex)"
+            )
+        return self.directory / f"{identity}.json"
+
+    def _record(self, kind: str, **details: Any) -> None:
+        if self.events is not None:
+            self.events.record(kind, **details)
+
+    # ------------------------------------------------------------------
+    def load(self, identity: str) -> Optional[Dict[str, Any]]:
+        """The artifact body stored under *identity*, or ``None``.
+
+        A missing file is a plain miss.  Bytes that fail to parse, parse
+        to a non-dict, carry the wrong embedded identity or an unknown
+        format version are quarantined (``mark_corrupt``) and reported as
+        a miss — the caller recompiles and overwrites.
+        """
+        path = self._path(identity)
+        try:
+            text = path.read_text(encoding="ascii")
+        except FileNotFoundError:
+            with self._lock:
+                self._misses += 1
+            return None
+        except OSError as error:
+            self.mark_corrupt(identity, reason=str(error))
+            return None
+        try:
+            artifact = stable_loads(text)
+        except ValueError as error:
+            self.mark_corrupt(identity, reason=f"malformed JSON: {error}")
+            return None
+        if not isinstance(artifact, dict):
+            self.mark_corrupt(identity, reason="artifact body is not an object")
+            return None
+        if artifact.get("identity") != identity:
+            self.mark_corrupt(
+                identity,
+                reason=f"embedded identity {artifact.get('identity')!r} "
+                "does not match the filename",
+            )
+            return None
+        if artifact.get("format") != ARTIFACT_FORMAT:
+            # A future (or ancient) format is not damage — but it is not
+            # servable by this build either.  Treat it as stale: delete,
+            # recompile, rewrite in today's format.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                self._misses += 1
+                self._invalidations += 1
+            self._record(
+                PLAN_STALE,
+                identity=identity,
+                format=artifact.get("format"),
+                reason="artifact format version mismatch",
+            )
+            return None
+        with self._lock:
+            self._hits += 1
+        self._record(PLAN_LOADED, identity=identity, bytes=len(text))
+        return artifact
+
+    def save(self, identity: str, artifact: Dict[str, Any]) -> bool:
+        """Write *artifact* under *identity*; returns whether it landed.
+
+        The body is serialized through stable JSON, written to a
+        per-writer ``.tmp`` file and renamed into place, so readers only
+        ever observe complete artifacts.  A failed write is counted, the
+        straggler removed, and serving continues uncached — the store is
+        an accelerator, never a point of failure.
+        """
+        path = self._path(identity)
+        stamped = dict(artifact)
+        stamped["identity"] = identity
+        tmp = path.with_suffix(
+            f".{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_text(stable_dumps(stamped), encoding="ascii")
+            os.replace(tmp, path)
+        except OSError:
+            with self._lock:
+                self._write_errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        with self._lock:
+            self._writes += 1
+        return True
+
+    def mark_corrupt(self, identity: str, reason: str = "") -> None:
+        """Quarantine the artifact under *identity* (rename to ``.corrupt``).
+
+        Also the hook for the system's decode path: an artifact whose
+        JSON parsed but whose body cannot be rebuilt into a plan is just
+        as untrustworthy as torn bytes.
+        """
+        path = self._path(identity)
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+        with self._lock:
+            self._corrupt += 1
+            self._misses += 1
+        self._record(PLAN_CORRUPT, identity=identity, reason=reason)
+
+    # ------------------------------------------------------------------
+    def prune_stale(self, configuration_digest: str) -> int:
+        """Delete artifacts not compiled under *configuration_digest*.
+
+        Stale artifacts are already unreachable (their identities embed
+        the old fingerprint); pruning reclaims the disk and keeps the
+        directory listing honest.  Returns how many were deleted.
+        """
+        pruned = 0
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                artifact = stable_loads(path.read_text(encoding="ascii"))
+                stale = (
+                    not isinstance(artifact, dict)
+                    or artifact.get("configuration") != configuration_digest
+                )
+            except (OSError, ValueError):
+                # Unreadable artifacts are dealt with on load; pruning
+                # only handles well-formed strangers.
+                continue
+            if stale:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                pruned += 1
+                self._record(
+                    PLAN_STALE,
+                    identity=path.stem,
+                    reason="configuration fingerprint changed",
+                )
+        if pruned:
+            with self._lock:
+                self._invalidations += pruned
+        return pruned
+
+    def identities(self) -> List[str]:
+        """The identities of every artifact currently on disk, sorted."""
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.identities())
+
+    def stats(self) -> PlanStoreStats:
+        with self._lock:
+            return PlanStoreStats(
+                directory=str(self.directory),
+                artifacts=len(list(self.directory.glob("*.json"))),
+                hits=self._hits,
+                misses=self._misses,
+                writes=self._writes,
+                write_errors=self._write_errors,
+                corrupt=self._corrupt,
+                invalidations=self._invalidations,
+            )

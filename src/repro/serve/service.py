@@ -34,6 +34,7 @@ from ..core.reformulation import MarsReformulation
 from ..core.system import MarsSystem
 from ..errors import ReformulationError, StorageError
 from ..logical.queries import ConjunctiveQuery, UnionQuery
+from ..plan import PlanStore, PlanStoreStats
 from ..obs import (
     AdminServer,
     AuditLog,
@@ -192,6 +193,11 @@ class ServiceStats:
     slo: Tuple[SLOReport, ...] = ()
     #: Audit-log shape (``None`` when the audit log is off).
     audit: Optional[AuditStats] = None
+    #: Reformulations served by decoding a plan-store artifact (no C&B
+    #: engine entry).
+    plans_loaded: int = 0
+    #: Plan-store counters (``None`` when no store is attached).
+    plan_store: Optional[PlanStoreStats] = None
 
     def snapshot(self) -> Dict[str, object]:
         """The stats as one JSON-able dict (the operator-facing view).
@@ -207,6 +213,7 @@ class ServiceStats:
             "version": self.version,
             "queries_served": self.queries_served,
             "reformulations_computed": self.reformulations_computed,
+            "plans_loaded": self.plans_loaded,
             "updates_applied": self.updates_applied,
             "last_write_lsn": self.last_write_lsn,
             "statistics_refreshes": self.statistics_refreshes,
@@ -257,6 +264,8 @@ class ServiceStats:
             data["slo"] = [entry.to_dict() for entry in self.slo]
         if self.audit is not None:
             data["audit"] = self.audit.to_dict()
+        if self.plan_store is not None:
+            data["plan_store"] = self.plan_store.to_dict()
         return data
 
 
@@ -289,6 +298,7 @@ class PublishingService:
         metrics_registry: Optional[MetricsRegistry] = None,
         event_log_size: int = 1024,
         log_dir: Optional[str] = None,
+        plan_dir: Optional[str] = None,
         log_fsync: Optional[str] = None,
         log_segment_bytes: Optional[int] = None,
         auto_repair_interval: Optional[float] = None,
@@ -388,6 +398,19 @@ class PublishingService:
             system.plan_cache = plan_cache
         self.system = system
         self.plan_cache: PlanCache = system.plan_cache
+        # Persistent plan artifacts: with a plan directory configured (the
+        # parameter, the configuration's plan_dir, or MARS_PLAN_DIR), a
+        # disk-backed store is attached to the system — compiled plans
+        # become durable artifacts and a restarted service serves them
+        # without re-entering the C&B engine.  A store the caller already
+        # attached to the system is adopted; either way its load outcomes
+        # are recorded on this service's event log.
+        plan_path = plan_dir if plan_dir is not None else configuration.plan_dir
+        if system.plan_store is None and plan_path is not None:
+            system.plan_store = PlanStore(plan_path)
+        self.plan_store: Optional[PlanStore] = system.plan_store
+        if self.plan_store is not None and self.plan_store.events is None:
+            self.plan_store.events = self.events
         # Build the instance data once, into the template backend the pools
         # will clone from.
         self.executor = MarsExecutor(configuration, backend=backend)
@@ -481,6 +504,7 @@ class PublishingService:
         self._counter_lock = threading.Lock()
         self._queries_served = 0
         self._reformulations_computed = 0
+        self._plans_loaded = 0
         # Write-path state: updates serialize behind one lock; publishes
         # and updates pass the gate as readers, the rebalance cutover as
         # the exclusive writer.
@@ -517,7 +541,6 @@ class PublishingService:
         # fully built service back down instead of leaking it.
         self.audit: Optional[AuditLog] = None
         self.admin: Optional[AdminServer] = None
-        self._fingerprint_reprs: Dict[Tuple, str] = {}
         self._init_health()
         try:
             audit_path = (
@@ -697,6 +720,10 @@ class PublishingService:
             "mars_reformulations_total",
             "C&B reformulations computed (plan-cache misses)",
         )
+        self._m_plans_loaded = registry.counter(
+            "mars_plans_loaded_total",
+            "reformulations served by decoding a plan-store artifact",
+        )
         self._m_slow = registry.counter(
             "mars_slow_queries_total",
             "publishes at or over the slow-query threshold",
@@ -727,6 +754,25 @@ class PublishingService:
         )
         self._g_cache_hit_ratio = registry.gauge(
             "mars_plan_cache_hit_ratio", "lifetime plan-cache hit rate"
+        )
+        self._g_plan_store_artifacts = registry.gauge(
+            "mars_plan_store_plans", "plan artifacts on disk"
+        )
+        self._g_plan_store_hits = registry.gauge(
+            "mars_plan_store_hits_total", "plan-store loads that hit"
+        )
+        self._g_plan_store_misses = registry.gauge(
+            "mars_plan_store_misses_total", "plan-store loads that missed"
+        )
+        self._g_plan_store_writes = registry.gauge(
+            "mars_plan_store_writes_total", "plan artifacts written"
+        )
+        self._g_plan_store_corrupt = registry.gauge(
+            "mars_plan_store_corrupt_total", "plan artifacts quarantined"
+        )
+        self._g_plan_store_invalidations = registry.gauge(
+            "mars_plan_store_invalidations_total",
+            "stale plan artifacts deleted",
         )
         self._g_pool_size = registry.gauge(
             "mars_pool_size_connections", "pooled connections (aggregate)"
@@ -846,6 +892,15 @@ class PublishingService:
             if stats.audit is not None:
                 self._g_audit_records.set(stats.audit.records)
                 self._g_audit_bytes.set(stats.audit.active_bytes)
+            if stats.plan_store is not None:
+                self._g_plan_store_artifacts.set(stats.plan_store.artifacts)
+                self._g_plan_store_hits.set(stats.plan_store.hits)
+                self._g_plan_store_misses.set(stats.plan_store.misses)
+                self._g_plan_store_writes.set(stats.plan_store.writes)
+                self._g_plan_store_corrupt.set(stats.plan_store.corrupt)
+                self._g_plan_store_invalidations.set(
+                    stats.plan_store.invalidations
+                )
 
         registry.add_collector(collect)
 
@@ -1094,12 +1149,25 @@ class PublishingService:
             # holding the lock: read outside it, another thread's concurrent
             # miss would be misattributed to this call.
             before = cache.misses
+            engine_before = self.system.engine_invocations
             clock = timer()
             reformulation = self.system.reformulate(query)
             seconds = clock.stop()
             missed = cache.misses != before
+            compiled = self.system.engine_invocations != engine_before
         offset = clock.started - parent.start
-        if missed:
+        if missed and not compiled:
+            # A plan-cache miss the disk store absorbed: the artifact was
+            # decoded, re-ranked and re-rendered — no chase, no backchase.
+            span = parent.add_phase(
+                "reformulate", seconds, offset=offset,
+                query=query.name, cache_hit=False, plan_store_hit=True,
+            )
+            span.add_phase("plan_store.load", seconds)
+            with self._counter_lock:
+                self._plans_loaded += 1
+            self._m_plans_loaded.inc()
+        elif missed:
             span = parent.add_phase(
                 "reformulate", seconds, offset=offset,
                 query=query.name, cache_hit=False,
@@ -1351,19 +1419,15 @@ class PublishingService:
         tracked,
     ) -> None:
         """Append one publish to the durable audit log (raises on failure)."""
-        fingerprint = query.fingerprint()
-        text = self._fingerprint_reprs.get(fingerprint)
-        if text is None:
-            # Rendering the structural tuple costs more than the whole
-            # audit append; cache it alongside the plan-cache lifetime.
-            if len(self._fingerprint_reprs) >= 1024:
-                self._fingerprint_reprs.clear()
-            text = self._fingerprint_reprs[fingerprint] = repr(fingerprint)
         entry: Dict[str, object] = {
             "ts": time.time(),
             "kind": "publish",
             "query": query.name,
-            "fingerprint": text,
+            # The structural fingerprint as its stable digest: the raw
+            # tuple's repr drifts across refactors, the digest is the
+            # durable form shared with plan-artifact identities (and it
+            # is memoized on the query object).
+            "fingerprint": query.fingerprint_digest(),
             "strategy": strategy,
             "route": self._route_modes(tracked),
             "lsn": lsn,
@@ -1786,6 +1850,7 @@ class PublishingService:
         with self._counter_lock:
             served = self._queries_served
             computed = self._reformulations_computed
+            loaded = self._plans_loaded
             updates = self._updates_applied
             refreshes = self._statistics_refreshes
             rebalances = self._rebalances
@@ -1815,6 +1880,9 @@ class PublishingService:
             tuple(self.slo.report()) if self.slo is not None else ()
         )
         audit_stats = self.audit.stats() if self.audit is not None else None
+        store_stats = (
+            self.plan_store.stats() if self.plan_store is not None else None
+        )
         if self.pool is not None:
             return ServiceStats(
                 queries_served=served,
@@ -1837,6 +1905,8 @@ class PublishingService:
                 version=version,
                 slo=slo_entries,
                 audit=audit_stats,
+                plans_loaded=loaded,
+                plan_store=store_stats,
             )
         per_shard = tuple(pool.stats() for pool in self.shard_pools)
         aggregate = PoolStats(
@@ -1875,6 +1945,8 @@ class PublishingService:
             version=version,
             slo=slo_entries,
             audit=audit_stats,
+            plans_loaded=loaded,
+            plan_store=store_stats,
         )
 
     def metrics(self, fmt: str = "prometheus") -> str:

@@ -34,6 +34,7 @@ class XBindQuery:
         object.__setattr__(self, "head", tuple(head))
         object.__setattr__(self, "body", tuple(body))
         object.__setattr__(self, "_fingerprint", None)
+        object.__setattr__(self, "_fingerprint_digest", None)
 
     # ------------------------------------------------------------------
     @property
@@ -135,6 +136,26 @@ class XBindQuery:
         result = (head, tuple(body))
         object.__setattr__(self, "_fingerprint", result)
         return result
+
+    def fingerprint_digest(self) -> str:
+        """The fingerprint as a stable hex digest (SHA-256 of stable JSON).
+
+        The raw :meth:`fingerprint` tuple is an in-process cache key; its
+        ``repr`` and pickle forms are incidental and drift across
+        refactors.  The digest is the durable string form: plan-artifact
+        filenames, audit entries and any label that must survive a
+        restart key on this.  Memoized like the fingerprint itself.
+        """
+        cached = self._fingerprint_digest
+        if cached is not None:
+            return cached
+        # Imported lazily: repro.plan imports this module to decode
+        # canonical artifacts back into XBind queries.
+        from ..plan.identity import fingerprint_digest
+
+        digest = fingerprint_digest(self.fingerprint())
+        object.__setattr__(self, "_fingerprint_digest", digest)
+        return digest
 
     # ------------------------------------------------------------------
     def substitute(self, mapping: Mapping[Term, Term]) -> "XBindQuery":

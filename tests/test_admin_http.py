@@ -525,7 +525,7 @@ class TestReplicaHealthArc:
 
             template = service.executor.backend
             service.publish(query)
-            published_fingerprints.append(repr(query.fingerprint()))
+            published_fingerprints.append(query.fingerprint_digest())
             assert health_gauge(scrape_is_valid()) == 1.0
             status, health = get(base, "/health")
             assert status == 200 and health["status"] == HEALTHY
@@ -533,7 +533,7 @@ class TestReplicaHealthArc:
             # Kill one replica; a live publish keeps flowing (failover).
             template.replicas[0].close()
             service.publish(query)
-            published_fingerprints.append(repr(query.fingerprint()))
+            published_fingerprints.append(query.fingerprint_digest())
             update_lsns.append(
                 service.update(
                     ChangeSet.build(inserts={"itemName": [("during", "kill")]})
@@ -560,7 +560,7 @@ class TestReplicaHealthArc:
             assert health_gauge(scrape_is_valid()) == 1.0
 
             service.publish(query)
-            published_fingerprints.append(repr(query.fingerprint()))
+            published_fingerprints.append(query.fingerprint_digest())
         finally:
             service.close()
 

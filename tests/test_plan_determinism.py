@@ -1,0 +1,300 @@
+"""The golden-plan determinism suite.
+
+Locks the canonical form of compiled plans three ways:
+
+* **goldens** — freshly compiled workload queries must reproduce the
+  identities, artifact hashes and compile statistics checked in under
+  ``tests/golden_plans/`` (regenerate deliberately with
+  ``tools/regen_golden_plans.py``);
+* **process independence** — compiling the same query in fresh
+  subprocesses under different ``PYTHONHASHSEED`` values yields
+  byte-identical canonical JSON and the same identity (no hash-order or
+  counter leakage into artifacts);
+* **canonical-form laws** — variable-renaming invariance, body-order
+  invariance, round-trip idempotence, symmetric-atom normalization, and
+  the stable-JSON encoder's refusals (non-string keys, non-finite
+  floats).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from importlib import util as importlib_util
+from pathlib import Path
+
+import pytest
+
+from repro.core.system import MarsSystem
+from repro.logical.atoms import EqualityAtom, InequalityAtom, RelationalAtom
+from repro.logical.queries import ConjunctiveQuery
+from repro.logical.terms import Constant, Variable
+from repro.plan import (
+    canonical_query,
+    canonical_reformulation,
+    configuration_fingerprint,
+    plan_identity,
+    query_from_canonical,
+    reformulation_from_canonical,
+    stable_dumps,
+    stable_loads,
+)
+from repro.workloads import medical
+
+ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = ROOT / "tests" / "golden_plans"
+
+
+def _load_regen_module():
+    spec = importlib_util.spec_from_file_location(
+        "regen_golden_plans", ROOT / "tools" / "regen_golden_plans.py"
+    )
+    module = importlib_util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def regen():
+    return _load_regen_module()
+
+
+@pytest.fixture(scope="module")
+def fresh_documents(regen):
+    """Every workload's golden document, compiled once for the module."""
+    return {
+        name: regen.golden_document(name, system, queries)
+        for name, (system, queries) in regen.workload_suites().items()
+    }
+
+
+class TestGoldenPlans:
+    def test_golden_files_exist(self):
+        names = sorted(path.name for path in GOLDEN_DIR.glob("*.json"))
+        assert names == ["medical.json", "star.json", "xmark.json"]
+
+    @pytest.mark.parametrize("workload", ["medical", "star", "xmark"])
+    def test_identities_match_goldens(self, regen, fresh_documents, workload):
+        problems = regen.drift_report(
+            workload,
+            fresh_documents[workload],
+            GOLDEN_DIR / f"{workload}.json",
+        )
+        assert not problems, "\n".join(problems)
+
+    def test_identity_is_input_derived(self, fresh_documents):
+        # The identity must be computable from the compile's inputs alone
+        # (that is what makes a store lookup possible *before* compiling).
+        document = fresh_documents["medical"]
+        for entry in document["queries"].values():
+            assert entry["identity"] == plan_identity(
+                entry["query_digest"],
+                document["configuration"],
+                True,
+            )
+
+    def test_identity_components_are_load_bearing(self, fresh_documents):
+        document = fresh_documents["medical"]
+        entry = next(iter(document["queries"].values()))
+        base = plan_identity(entry["query_digest"], document["configuration"], True)
+        assert plan_identity(
+            entry["query_digest"], document["configuration"], False
+        ) != base
+        assert plan_identity(
+            entry["query_digest"], "0" * 64, True
+        ) != base
+        assert plan_identity("0" * 64, document["configuration"], True) != base
+
+
+_SUBPROCESS_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.core.system import MarsSystem
+from repro.plan import canonical_reformulation, plan_identity, stable_dumps
+from repro.workloads import medical
+
+system = MarsSystem(medical.build_configuration())
+query = medical.client_query()
+reformulation = system.reformulate(query)
+print(plan_identity(
+    query.fingerprint_digest(), system.configuration_digest,
+    system.cb_config.minimize,
+))
+print(stable_dumps(canonical_reformulation(reformulation)))
+"""
+
+
+class TestProcessIndependence:
+    def test_hashseed_does_not_reach_artifacts(self, tmp_path):
+        outputs = []
+        for seed in ("0", "4242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["MARS_BACKEND"] = "memory"
+            result = subprocess.run(
+                [sys.executable, "-c",
+                 _SUBPROCESS_SCRIPT.format(src=str(ROOT / "src"))],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+        identity, artifact = outputs[0].splitlines()
+        assert len(identity) == 64
+        assert stable_loads(artifact)["format"] == 1
+
+
+def _example_query(a, b, c):
+    return ConjunctiveQuery(
+        "Q",
+        (a, c),
+        (
+            RelationalAtom("edge", (a, b)),
+            RelationalAtom("edge", (b, c)),
+            RelationalAtom("label", (c, Constant("leaf"))),
+            InequalityAtom(a, c),
+        ),
+    )
+
+
+class TestCanonicalFormLaws:
+    def test_variable_renaming_invariance(self):
+        original = _example_query(Variable("x"), Variable("y"), Variable("z"))
+        renamed = _example_query(
+            Variable("chase_991"), Variable("v"), Variable("aa")
+        )
+        assert canonical_query(original) == canonical_query(renamed)
+
+    def test_body_order_invariance(self):
+        query = _example_query(Variable("x"), Variable("y"), Variable("z"))
+        shuffled = ConjunctiveQuery(
+            query.name, query.head, tuple(reversed(query.body))
+        )
+        assert canonical_query(query) == canonical_query(shuffled)
+
+    def test_round_trip_is_idempotent(self):
+        query = _example_query(Variable("x"), Variable("y"), Variable("z"))
+        document = canonical_query(query)
+        rebuilt = query_from_canonical(
+            stable_loads(stable_dumps(document))
+        )
+        assert canonical_query(rebuilt) == document
+
+    def test_symmetric_atoms_normalize_their_sides(self):
+        def with_equality(left, right):
+            return ConjunctiveQuery(
+                "Q",
+                (Variable("x"),),
+                (
+                    RelationalAtom("r", (Variable("x"), Variable("y"))),
+                    EqualityAtom(left, right),
+                ),
+            )
+
+        forward = with_equality(Variable("x"), Constant("k"))
+        backward = with_equality(Constant("k"), Variable("x"))
+        assert canonical_query(forward) == canonical_query(backward)
+
+    def test_reformulation_roundtrip_is_idempotent(self):
+        system = MarsSystem(medical.build_configuration())
+        reformulation = system.reformulate(medical.client_query())
+        artifact = stable_dumps(canonical_reformulation(reformulation))
+        rebuilt = reformulation_from_canonical(stable_loads(artifact))
+        assert stable_dumps(canonical_reformulation(rebuilt)) == artifact
+        # Derived fields are reconstructed, not persisted.
+        assert rebuilt.time_to_best == 0.0
+        assert rebuilt.sql is None
+
+    def test_derived_artifacts_stay_out_of_the_canonical_form(self):
+        system = MarsSystem(medical.build_configuration())
+        reformulation = system.reformulate(medical.client_query())
+        before = stable_dumps(canonical_reformulation(reformulation))
+        reformulation.best_cost = 123456.0
+        reformulation.time_to_best = 99.0
+        reformulation.sql = "SELECT 1"
+        reformulation.candidate_costs = (("fake", 1.0),)
+        assert stable_dumps(canonical_reformulation(reformulation)) == before
+
+
+class TestStableJson:
+    def test_sorted_compact_ascii(self):
+        text = stable_dumps({"b": 1, "a": [True, None, "ü"]})
+        assert text == '{"a":[true,null,"\\u00fc"],"b":1}'
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises((TypeError, ValueError)):
+            stable_dumps({1: "a"})
+
+    def test_rejects_non_finite_floats(self):
+        with pytest.raises(ValueError):
+            stable_dumps({"x": float("nan")})
+        with pytest.raises(ValueError):
+            stable_dumps({"x": float("inf")})
+
+
+class TestConfigurationFingerprint:
+    def test_version_and_content_are_load_bearing(self):
+        configuration = medical.build_configuration()
+        system = MarsSystem(configuration)
+        base = configuration_fingerprint(
+            configuration.version,
+            system.dependencies,
+            system.target_relations,
+            system.cb_config,
+        )
+        assert base == system.configuration_digest
+        assert configuration_fingerprint(
+            configuration.version + 1,
+            system.dependencies,
+            system.target_relations,
+            system.cb_config,
+        ) != base
+        assert configuration_fingerprint(
+            configuration.version,
+            system.dependencies[:-1],
+            system.target_relations,
+            system.cb_config,
+        ) != base
+
+    def test_dependency_order_does_not_matter(self):
+        system = MarsSystem(medical.build_configuration())
+        version = system.configuration.version
+        forward = configuration_fingerprint(
+            version, system.dependencies, system.target_relations
+        )
+        backward = configuration_fingerprint(
+            version, list(reversed(system.dependencies)), system.target_relations
+        )
+        assert forward == backward
+
+
+class TestRegenGuard:
+    def _git(self, *args, cwd):
+        subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+            env={**os.environ,
+                 "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                 "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+        )
+
+    def test_refuses_on_a_dirty_tree(self, regen, tmp_path):
+        self._git("init", "-q", cwd=tmp_path)
+        (tmp_path / "tracked.txt").write_text("v1\n")
+        self._git("add", "tracked.txt", cwd=tmp_path)
+        self._git("commit", "-q", "-m", "seed", cwd=tmp_path)
+        assert not regen.working_tree_dirty(tmp_path)
+        regen.ensure_clean(tmp_path)  # clean tree: no exit
+        (tmp_path / "tracked.txt").write_text("v2\n")
+        assert regen.working_tree_dirty(tmp_path)
+        with pytest.raises(SystemExit):
+            regen.ensure_clean(tmp_path)
+
+    def test_untracked_files_count_as_dirty(self, regen, tmp_path):
+        self._git("init", "-q", cwd=tmp_path)
+        (tmp_path / "straggler.json").write_text("{}\n")
+        assert regen.working_tree_dirty(tmp_path)

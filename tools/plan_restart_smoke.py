@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Restart smoke test for the persistent plan store.
+
+Usage:  python tools/plan_restart_smoke.py [PLAN_DIR]
+
+Runs the warm-restart guarantee end to end, the way an operator would
+see it: a *cold* process compiles the medical workload queries and
+writes their plan artifacts under ``MARS_PLAN_DIR``; a **separate**
+*warm* process — a genuine restart, no shared interpreter state — points
+at the same directory, serves the same queries, and must
+
+* enter the Chase & Backchase engine **zero** times,
+* produce exactly the rows the cold process produced,
+* report the loads in its stats (``plans_loaded``, store hits).
+
+Each phase runs in its own subprocess so nothing can leak between the
+incarnations except the artifact files themselves.  Exits non-zero with
+a diagnostic if any guarantee fails.  The CI plan-artifacts leg runs
+this after the golden-plan drift check.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_PHASE = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.serve import PublishingService
+from repro.workloads import medical
+
+with PublishingService(medical.build_configuration()) as service:
+    rows = {{
+        query.name: sorted(map(list, service.publish(query)))
+        for query in (medical.client_query(), medical.drug_usage_query())
+    }}
+    stats = service.stats()
+    print(json.dumps({{
+        "rows": rows,
+        "engine_invocations": service.system.engine_invocations,
+        "reformulations_computed": stats.reformulations_computed,
+        "plans_loaded": stats.plans_loaded,
+        "store": stats.plan_store.to_dict() if stats.plan_store else None,
+    }}))
+"""
+
+
+def run_phase(name: str, plan_dir: Path) -> dict:
+    result = subprocess.run(
+        [sys.executable, "-c", _PHASE.format(src=str(ROOT / "src"))],
+        capture_output=True,
+        text=True,
+        env={"MARS_PLAN_DIR": str(plan_dir), "PATH": "/usr/bin:/bin"},
+    )
+    if result.returncode != 0:
+        print(f"{name} phase crashed:\n{result.stderr}", file=sys.stderr)
+        sys.exit(1)
+    return json.loads(result.stdout)
+
+
+def main(argv) -> int:
+    if argv:
+        plan_dir = Path(argv[0])
+        plan_dir.mkdir(parents=True, exist_ok=True)
+        context = None
+    else:
+        context = tempfile.TemporaryDirectory(prefix="mars-plan-smoke-")
+        plan_dir = Path(context.name)
+    try:
+        cold = run_phase("cold", plan_dir)
+        warm = run_phase("warm", plan_dir)
+    finally:
+        if context is not None:
+            context.cleanup()
+
+    failures = []
+    if cold["engine_invocations"] != 2:
+        failures.append(
+            f"cold phase entered the engine {cold['engine_invocations']} "
+            "times (expected 2)"
+        )
+    if warm["engine_invocations"] != 0:
+        failures.append(
+            f"warm phase entered the engine {warm['engine_invocations']} "
+            "times (expected 0: every plan must come from the store)"
+        )
+    if warm["reformulations_computed"] != 0:
+        failures.append(
+            f"warm phase computed {warm['reformulations_computed']} "
+            "reformulations (expected 0)"
+        )
+    if warm["plans_loaded"] != 2:
+        failures.append(
+            f"warm phase loaded {warm['plans_loaded']} plans (expected 2)"
+        )
+    if warm["rows"] != cold["rows"]:
+        failures.append("warm rows differ from cold rows")
+    store = warm["store"] or {}
+    if store.get("hits") != 2 or store.get("corrupt"):
+        failures.append(f"warm store stats look wrong: {store}")
+
+    if failures:
+        print("plan restart smoke FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        "plan restart smoke OK: cold compiled "
+        f"{cold['engine_invocations']} plans, warm served "
+        f"{warm['plans_loaded']} from the store with 0 engine entries"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

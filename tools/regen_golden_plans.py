@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Regenerate (or check) the golden plan artifacts under tests/golden_plans/.
+
+The golden files lock the canonical identity of every workload query:
+the plan-artifact identity, the query fingerprint digest, the canonical
+artifact's SHA-256 and the deterministic compile statistics.  The
+determinism suite (tests/test_plan_determinism.py) compares fresh
+compiles against them, so any change that moves a canonical form — an
+engine refactor that changes search behaviour, a canonicalization edit,
+a view/constraint edit in a workload — shows up as an explicit golden
+drift instead of silently re-keying the plan store.
+
+Modes:
+
+* default (regenerate): recompile every workload and rewrite the golden
+  files.  Refuses to run when the git working tree is dirty — goldens
+  must be regenerated from exactly the code that is committed, so the
+  locked identities are attributable to one revision.
+* ``--check``: recompile and compare against the checked-in goldens
+  without writing anything; exit 1 listing every drifted entry.  Safe on
+  a dirty tree (CI runs it on every push).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.system import MarsSystem  # noqa: E402
+from repro.plan import (  # noqa: E402
+    canonical_reformulation,
+    plan_identity,
+    stable_dumps,
+)
+from repro.workloads import medical, star, xmark  # noqa: E402
+
+GOLDEN_DIR = ROOT / "tests" / "golden_plans"
+
+
+def workload_suites() -> Dict[str, Tuple[MarsSystem, List]]:
+    """Every golden workload: a fresh system and its client queries."""
+    parameters = star.StarParameters()
+    return {
+        "medical": (
+            MarsSystem(medical.build_configuration()),
+            [medical.client_query(), medical.drug_usage_query()],
+        ),
+        "star": (
+            MarsSystem(star.build_configuration(parameters)),
+            [star.client_query(parameters)],
+        ),
+        "xmark": (
+            MarsSystem(xmark.build_configuration()),
+            list(xmark.query_suite()),
+        ),
+    }
+
+
+def golden_document(name: str, system: MarsSystem, queries: List) -> Dict:
+    """The golden document for one workload, freshly compiled."""
+    entries: Dict[str, Dict] = {}
+    for query in queries:
+        reformulation = system.reformulate(query)
+        artifact = stable_dumps(canonical_reformulation(reformulation))
+        entries[query.name] = {
+            "identity": plan_identity(
+                query.fingerprint_digest(),
+                system.configuration_digest,
+                system.cb_config.minimize,
+            ),
+            "query_digest": query.fingerprint_digest(),
+            "artifact_sha256": hashlib.sha256(
+                artifact.encode("ascii")
+            ).hexdigest(),
+            "chase_steps": reformulation.chase_steps,
+            "subqueries_inspected": reformulation.subqueries_inspected,
+        }
+    return {
+        "workload": name,
+        "configuration": system.configuration_digest,
+        "queries": entries,
+    }
+
+
+def working_tree_dirty(root: Path = ROOT) -> bool:
+    """Whether *root*'s git tree has uncommitted or untracked changes."""
+    result = subprocess.run(
+        ["git", "status", "--porcelain"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return bool(result.stdout.strip())
+
+
+def ensure_clean(root: Path = ROOT) -> None:
+    """Exit with an error unless *root*'s working tree is clean."""
+    if working_tree_dirty(root):
+        sys.exit(
+            "refusing to regenerate golden plans: the git working tree is "
+            "dirty.\nGoldens must be regenerated from committed code so "
+            "every locked identity is attributable to one revision; commit "
+            "(or stash) first, or use --check to compare without writing."
+        )
+
+
+def drift_report(name: str, fresh: Dict, golden_path: Path) -> List[str]:
+    """Human-readable differences between *fresh* and the checked-in golden."""
+    if not golden_path.is_file():
+        return [f"{name}: golden file {golden_path} is missing"]
+    stored = json.loads(golden_path.read_text(encoding="ascii"))
+    problems: List[str] = []
+    if stored.get("configuration") != fresh["configuration"]:
+        problems.append(
+            f"{name}: configuration fingerprint drifted "
+            f"({stored.get('configuration')} -> {fresh['configuration']})"
+        )
+    stored_queries = stored.get("queries", {})
+    for query_name, entry in fresh["queries"].items():
+        old = stored_queries.get(query_name)
+        if old is None:
+            problems.append(f"{name}/{query_name}: missing from golden file")
+            continue
+        for key, value in entry.items():
+            if old.get(key) != value:
+                problems.append(
+                    f"{name}/{query_name}: {key} drifted "
+                    f"({old.get(key)} -> {value})"
+                )
+    for query_name in stored_queries:
+        if query_name not in fresh["queries"]:
+            problems.append(
+                f"{name}/{query_name}: in golden file but not in the workload"
+            )
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare fresh compiles against the goldens; write nothing",
+    )
+    args = parser.parse_args(argv)
+    if not args.check:
+        ensure_clean()
+    problems: List[str] = []
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, (system, queries) in sorted(workload_suites().items()):
+        document = golden_document(name, system, queries)
+        path = GOLDEN_DIR / f"{name}.json"
+        if args.check:
+            problems.extend(drift_report(name, document, path))
+        else:
+            path.write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n",
+                encoding="ascii",
+            )
+            print(f"wrote {path} ({len(document['queries'])} queries)")
+    if problems:
+        print("golden plan drift detected:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("golden plans match (no identity drift)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from typing import List, Tuple, Type, Union
 from ..compile.view_compiler import RelationalView
 from ..logical.queries import ConjunctiveQuery, UnionQuery
 from ..obs.timer import timer
+from ..profile import current_profile
 from ..storage.backends import StorageBackend
 from ..xbind.evaluation import MixedStorage, evaluate_xbind
 from ..xbind.query import XBindQuery
@@ -177,6 +178,13 @@ class MarsExecutor:
         entry point, which real engines run as a single ``UNION`` statement
         (one round trip) rather than one execution per disjunct.
         """
+        profile = current_profile()
+        if profile:
+            profile.annotate(
+                plan=getattr(query, "name", "<query>"),
+                engine=self.backend.backend_name,
+                disjuncts=len(tuple(query)) if isinstance(query, UnionQuery) else 1,
+            )
         if isinstance(query, UnionQuery):
             return self.backend.execute_union(query)
         return self.backend.execute(query)

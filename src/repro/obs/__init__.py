@@ -55,7 +55,7 @@ from .events import (
     SLOW_QUERY,
     STATISTICS_REFRESH,
 )
-from .feedback import CostFeedback, FingerprintFeedback, q_error
+from .feedback import CostFeedback, FingerprintFeedback, Q_ERROR_CAP, q_error
 from .health import (
     DEGRADED,
     HEALTHY,
@@ -114,6 +114,7 @@ __all__ = [
     "PLAN_CORRUPT",
     "PLAN_LOADED",
     "PLAN_STALE",
+    "Q_ERROR_CAP",
     "METRICS_CONTENT_TYPE",
     "MetricsRegistry",
     "NULL_SPAN",

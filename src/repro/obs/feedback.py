@@ -26,15 +26,34 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 
+#: The largest q-error :func:`q_error` will report.  Misestimates past a
+#: million-fold are equally "maximally wrong" for every consumer of the
+#: number, and the cap keeps ``inf`` (an infinite estimate, or one side
+#: overflowing) out of report sorting and the Prometheus exposition.
+Q_ERROR_CAP = 1e6
+
+
 def q_error(estimated: float, actual: float) -> float:
     """The symmetric ratio error of a cardinality estimate (>= 1.0).
 
     Both sides are floored at one row: an estimate of 0 against an empty
-    result is a perfect prediction, not a division by zero.
+    result is a perfect prediction, not a division by zero — an actual
+    row count of 0 in particular never divides.  The result is capped at
+    :data:`Q_ERROR_CAP`, and non-finite or non-numeric inputs report the
+    cap rather than letting ``inf``/``NaN`` leak into reports or metrics.
     """
-    est = max(1.0, float(estimated))
-    act = max(1.0, float(actual))
-    return max(est, act) / min(est, act)
+    try:
+        est = float(estimated)
+        act = float(actual)
+    except (TypeError, ValueError):
+        return Q_ERROR_CAP
+    if est != est or act != act:  # NaN on either side: maximally wrong
+        return Q_ERROR_CAP
+    est = max(1.0, est)
+    act = max(1.0, act)
+    if est == float("inf") or act == float("inf"):
+        return Q_ERROR_CAP
+    return min(Q_ERROR_CAP, max(est, act) / min(est, act))
 
 
 @dataclass(frozen=True)
@@ -53,6 +72,12 @@ class FingerprintFeedback:
     actual_seconds: float
     #: ``q_error(estimated_rows, actual_rows)``.
     cardinality_q_error: float
+    #: The worst-misestimated *operator* observed for this fingerprint
+    #: (``kind:label``, e.g. ``join-step:treatment[step 2]``) — recorded
+    #: by sampled query profiles; ``None`` until one was profiled.
+    worst_operator: Optional[str] = None
+    #: The per-operator q-error of :attr:`worst_operator` (1.0 when none).
+    worst_operator_q_error: float = 1.0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -64,6 +89,8 @@ class FingerprintFeedback:
             "actual_rows": self.actual_rows,
             "actual_seconds": self.actual_seconds,
             "cardinality_q_error": self.cardinality_q_error,
+            "worst_operator": self.worst_operator,
+            "worst_operator_q_error": self.worst_operator_q_error,
         }
 
 
@@ -75,6 +102,8 @@ class _Accumulator:
         "estimated_cost",
         "rows_sum",
         "seconds_sum",
+        "worst_operator",
+        "worst_operator_q_error",
     )
 
     def __init__(self, plan_name: str, estimated_rows: float, estimated_cost: float):
@@ -84,6 +113,8 @@ class _Accumulator:
         self.estimated_cost = estimated_cost
         self.rows_sum = 0.0
         self.seconds_sum = 0.0
+        self.worst_operator: Optional[str] = None
+        self.worst_operator_q_error = 1.0
 
 
 class CostFeedback:
@@ -105,12 +136,18 @@ class CostFeedback:
         estimated_cost: float,
         actual_rows: int,
         actual_seconds: float,
+        worst_operator: Optional[str] = None,
+        worst_operator_q_error: float = 1.0,
     ) -> None:
         """Fold one execution's outcome into the fingerprint's aggregate.
 
         A fingerprint re-planned with different estimates (fresh
         statistics re-ranked the candidates) resets its aggregate — old
-        actuals measured a superseded plan.
+        actuals measured a superseded plan.  Sampled query profiles pass
+        the worst-misestimated operator of the execution
+        (*worst_operator*, a ``kind:label`` string, with its per-operator
+        q-error); the aggregate keeps the worst one seen so the report
+        can localize the misestimate, not just name the fingerprint.
         """
         with self._lock:
             entry = self._entries.get(fingerprint)
@@ -132,6 +169,12 @@ class CostFeedback:
             entry.samples += 1
             entry.rows_sum += float(actual_rows)
             entry.seconds_sum += float(actual_seconds)
+            if (
+                worst_operator is not None
+                and worst_operator_q_error >= entry.worst_operator_q_error
+            ):
+                entry.worst_operator = worst_operator
+                entry.worst_operator_q_error = worst_operator_q_error
             self._recorded += 1
 
     @property
@@ -157,12 +200,13 @@ class CostFeedback:
             snapshot = [
                 (fingerprint, entry.plan_name, entry.samples,
                  entry.estimated_rows, entry.estimated_cost,
-                 entry.rows_sum, entry.seconds_sum)
+                 entry.rows_sum, entry.seconds_sum,
+                 entry.worst_operator, entry.worst_operator_q_error)
                 for fingerprint, entry in self._entries.items()
             ]
         results: List[FingerprintFeedback] = []
         for (fingerprint, plan_name, samples, est_rows, est_cost,
-             rows_sum, seconds_sum) in snapshot:
+             rows_sum, seconds_sum, worst_op, worst_op_error) in snapshot:
             if samples < min_samples:
                 continue
             mean_rows = rows_sum / samples
@@ -179,6 +223,8 @@ class CostFeedback:
                     actual_rows=mean_rows,
                     actual_seconds=seconds_sum / samples,
                     cardinality_q_error=error,
+                    worst_operator=worst_op,
+                    worst_operator_q_error=worst_op_error,
                 )
             )
         results.sort(key=lambda entry: entry.cardinality_q_error, reverse=True)

@@ -19,6 +19,10 @@ to localhost by default, serving:
 ``GET /events``           The event-log tail (``?kind=``, ``?n=``) plus
                           lifetime per-kind counts and the dropped counter.
 ``GET /traces/recent``    The sampled ring of completed span trees (``?n=``).
+``GET /profiles/recent``  The sampled ring of structured query profiles
+                          (``?n=``), newest first.
+``GET /profiles/worst``   The buffered profiles ranked by their worst
+                          per-operator q-error (``?n=``).
 ========================  ====================================================
 
 The server is deliberately *dumb*: every endpoint is a zero-argument
@@ -49,10 +53,20 @@ METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
 #: Routes advertised in the 404 body, for discoverability.
-ROUTES = ("/metrics", "/stats", "/health", "/ready", "/events", "/traces/recent")
+ROUTES = (
+    "/metrics",
+    "/stats",
+    "/health",
+    "/ready",
+    "/events",
+    "/traces/recent",
+    "/profiles/recent",
+    "/profiles/worst",
+)
 
 DEFAULT_EVENT_TAIL = 100
 DEFAULT_TRACE_TAIL = 10
+DEFAULT_PROFILE_TAIL = 10
 
 
 def _query_int(query: Dict[str, Any], name: str, default: int) -> int:
@@ -128,6 +142,8 @@ class AdminServer:
             Callable[[Optional[str], int], Dict[str, Any]]
         ] = None,
         trace_recent: Optional[Callable[[int], Dict[str, Any]]] = None,
+        profiles_recent: Optional[Callable[[int], Dict[str, Any]]] = None,
+        profiles_worst: Optional[Callable[[int], Dict[str, Any]]] = None,
     ) -> None:
         self.host = host
         self._requested_port = port
@@ -137,6 +153,8 @@ class AdminServer:
         self._ready = ready
         self._event_tail = event_tail
         self._trace_recent = trace_recent
+        self._profiles_recent = profiles_recent
+        self._profiles_worst = profiles_worst
         self._server: Optional[_AdminHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
@@ -231,6 +249,16 @@ class AdminServer:
                 return self._json(404, {"error": "trace buffer not enabled"})
             n = _query_int(query, "n", DEFAULT_TRACE_TAIL)
             return self._json(200, self._trace_recent(n))
+        if path == "/profiles/recent":
+            if self._profiles_recent is None:
+                return self._json(404, {"error": "profiling not enabled"})
+            n = _query_int(query, "n", DEFAULT_PROFILE_TAIL)
+            return self._json(200, self._profiles_recent(n))
+        if path == "/profiles/worst":
+            if self._profiles_worst is None:
+                return self._json(404, {"error": "profiling not enabled"})
+            n = _query_int(query, "n", DEFAULT_PROFILE_TAIL)
+            return self._json(200, self._profiles_worst(n))
         return self._json(404, {"error": "not found", "routes": list(ROUTES)})
 
     @staticmethod

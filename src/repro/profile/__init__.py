@@ -1,0 +1,54 @@
+"""Per-operator EXPLAIN ANALYZE: structured profiles of real executions.
+
+``explain()`` renders the planner's *intent* as a string; this package
+records what execution actually *did*, operator by operator, so a
+cardinality misestimate can be localized to the join step, shard or
+replica that produced it rather than blamed on a whole fingerprint:
+
+* :mod:`repro.profile.nodes` — the :class:`ProfileNode` operator tree
+  (``scan`` / ``join-step`` / ``union-branch`` / ``shard-fragment`` /
+  ``replica-read`` / ``merge`` nodes, each with ``estimated_rows``,
+  ``actual_rows``, ``elapsed_seconds`` and a per-operator ``q_error``),
+  the :class:`QueryProfile` wrapper, and the ambient
+  :func:`current_profile` sink (free when inactive via
+  :data:`NULL_PROFILE`, mirroring the span tracer);
+* :mod:`repro.profile.buffer` — the deterministic 1-in-N sampler and
+  bounded ring (:class:`ProfileBuffer`) behind the service's always-on
+  sampled profiling and the ``/profiles/recent`` / ``/profiles/worst``
+  admin routes.
+
+Every storage backend emits nodes into the ambient sink when a profile
+is active; ``PublishingService.explain(query, analyze=True)`` forces one
+profiled execution and returns its :class:`QueryProfile`.  See the
+"Query profiling" section of ``docs/OBSERVABILITY.md``.
+"""
+
+from .buffer import ProfileBuffer
+from .nodes import (
+    JOIN_STEP,
+    MERGE,
+    NULL_PROFILE,
+    REPLICA_READ,
+    SCAN,
+    SHARD_FRAGMENT,
+    STATEMENT,
+    UNION_BRANCH,
+    ProfileNode,
+    QueryProfile,
+    current_profile,
+)
+
+__all__ = [
+    "JOIN_STEP",
+    "MERGE",
+    "NULL_PROFILE",
+    "ProfileBuffer",
+    "ProfileNode",
+    "QueryProfile",
+    "REPLICA_READ",
+    "SCAN",
+    "SHARD_FRAGMENT",
+    "STATEMENT",
+    "UNION_BRANCH",
+    "current_profile",
+]

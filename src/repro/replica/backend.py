@@ -43,6 +43,7 @@ from typing import (
 from ..errors import StorageError
 from ..obs.events import EventLog, REPLICA_FAILOVER, REPLICA_FENCED
 from ..obs.trace import current_span
+from ..profile import REPLICA_READ, current_profile
 from ..storage.backends.base import Query, Row, StorageBackend, create_backend
 from .changeset import ChangeSet
 from .selector import ReplicaSelector, create_selector
@@ -195,6 +196,7 @@ class ReplicatedBackend(StorageBackend):
         with self._lock:
             loads = tuple(self._loads)
         order = self.selector.order(self.replica_count, loads)
+        profile = current_profile()
         last_error: Optional[StorageError] = None
         for index in order:
             replica = self._replicas[index]
@@ -205,14 +207,34 @@ class ReplicatedBackend(StorageBackend):
             span = current_span().child(
                 "replica.read", replica=index, engine=replica.backend_name
             )
+            # One replica-read node per *attempt*: a failed attempt stays
+            # in the tree annotated failover=True, so the profile shows
+            # exactly which copy served the read and which were tried.
+            node = (
+                profile.child(
+                    REPLICA_READ,
+                    f"replica{index}",
+                    replica=index,
+                    engine=replica.backend_name,
+                    selector=self.selector.name,
+                )
+                if profile
+                else None
+            )
             try:
                 with span:
-                    result = action(replica)
+                    if node is not None:
+                        with node:
+                            result = action(replica)
+                    else:
+                        result = action(replica)
             except StorageError as error:
                 # The engine failed (killed replica, closed connection):
                 # try the next copy.  Query errors (EvaluationError and
                 # friends) are deterministic and propagate unchanged.
                 last_error = error
+                if node is not None:
+                    node.annotate(failover=True)
                 with self._lock:
                     self._loads[index] -= 1
                     self._failovers += 1
@@ -228,6 +250,8 @@ class ReplicatedBackend(StorageBackend):
                 with self._lock:
                     self._loads[index] -= 1
                 raise
+            if node is not None and isinstance(result, (list, tuple)):
+                node.actual_rows = len(result)
             with self._lock:
                 self._loads[index] -= 1
                 self._reads[index] += 1
@@ -286,12 +310,42 @@ class ReplicatedBackend(StorageBackend):
         return self._catalog
 
     def explain(self, query: Query) -> str:
-        body = self._read(lambda replica: replica.explain(query))
+        """Describe the read decision, then the serving replica's own plan.
+
+        The header names the replica the selector would actually route
+        this read to (the first live entry of the selector's current
+        order) rather than a generic "some replica" — the same decision
+        :meth:`_read` makes, rendered instead of re-derived by hand.
+        """
+        self._require_open()
+        with self._lock:
+            loads = tuple(self._loads)
+        order = self.selector.order(self.replica_count, loads)
+        serving = next(
+            (index for index in order if not self._replicas[index].closed), None
+        )
+        if serving is None:
+            raise StorageError("no live replica remains")
+        replica = self._replicas[serving]
+        fenced = [
+            index
+            for index in order
+            if self._replicas[index].closed
+        ]
         header = (
             f"replicated over {self.replica_count} replicas "
             f"({self.selector.name} reads, failover on StorageError):"
         )
-        return "\n".join([header] + [f"  {line}" for line in body.splitlines()])
+        decision = (
+            f"  read served by replica {serving} ({replica.backend_name}); "
+            f"failover order {list(order)}"
+        )
+        if fenced:
+            decision += f"; fenced replicas {fenced} skipped"
+        body = replica.explain(query)
+        return "\n".join(
+            [header, decision] + [f"  {line}" for line in body.splitlines()]
+        )
 
     # ------------------------------------------------------------------
     # Writes: every live replica, fencing on failure

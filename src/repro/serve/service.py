@@ -35,6 +35,7 @@ from ..core.system import MarsSystem
 from ..errors import ReformulationError, StorageError
 from ..logical.queries import ConjunctiveQuery, UnionQuery
 from ..plan import PlanStore, PlanStoreStats
+from ..profile import ProfileBuffer, ProfileNode, QueryProfile
 from ..obs import (
     AdminServer,
     AuditLog,
@@ -311,12 +312,19 @@ class PublishingService:
         slo_window_seconds: Optional[float] = None,
         trace_buffer_size: int = 64,
         trace_sample: int = 1,
+        profile_sample: int = 0,
+        profile_buffer_size: int = 64,
     ):
         if strategy not in (STRATEGY_BEST, STRATEGY_UNION):
             raise ValueError(f"unknown execution strategy {strategy!r}")
         if slow_query_sample < 1:
             raise ValueError(
                 f"slow_query_sample must be >= 1, got {slow_query_sample}"
+            )
+        if profile_sample < 0:
+            raise ValueError(
+                f"profile_sample must be >= 0 (0 disables profiling), "
+                f"got {profile_sample}"
             )
         self.configuration = configuration
         self.strategy = strategy
@@ -339,6 +347,18 @@ class PublishingService:
         self.trace_buffer = TraceBuffer(
             maxlen=trace_buffer_size, sample=trace_sample
         )
+        #: Per-operator query profiles: with ``profile_sample`` = N > 0,
+        #: one publish in N executes with a structured profile attached
+        #: and lands in this ring (served on /profiles/recent and
+        #: /profiles/worst).  0 disables sampling — ``explain(analyze=
+        #: True)`` still profiles its one forced publish.
+        self.profile_buffer: Optional[ProfileBuffer] = (
+            ProfileBuffer(maxlen=profile_buffer_size, sample=profile_sample)
+            if profile_sample > 0
+            else None
+        )
+        #: The :class:`QueryProfile` of the most recent profiled publish.
+        self.last_profile: Optional[QueryProfile] = None
         self._started_clock = timer()
         self.started_at = datetime.now(timezone.utc).isoformat()
         # Per-query latency objectives: a seconds budget (here or on the
@@ -573,6 +593,16 @@ class PublishingService:
                     ready=lambda: not self._closed,
                     event_tail=self._event_tail,
                     trace_recent=self._trace_recent,
+                    profiles_recent=(
+                        self._profiles_recent
+                        if self.profile_buffer is not None
+                        else None
+                    ),
+                    profiles_worst=(
+                        self._profiles_worst
+                        if self.profile_buffer is not None
+                        else None
+                    ),
                 )
                 self.admin.start()
         except Exception:
@@ -732,6 +762,10 @@ class PublishingService:
             "mars_cost_feedback_samples_total",
             "estimate-vs-actual samples recorded",
         )
+        self._m_profiles = registry.counter(
+            "mars_profiles_recorded_total",
+            "per-operator query profiles retained (sampled or forced)",
+        )
         self._m_statistics_refreshes = registry.counter(
             "mars_statistics_refreshes_total",
             "statistics re-collections (drift, misestimation, rebalance)",
@@ -825,6 +859,13 @@ class PublishingService:
         self._g_uptime = registry.gauge(
             "mars_uptime_seconds", "seconds since the service came up"
         )
+        self._g_profile_buffer = registry.gauge(
+            "mars_profile_buffer_entries", "query profiles currently buffered"
+        )
+        self._g_profile_worst_q = registry.gauge(
+            "mars_profile_worst_q_error_ratio",
+            "largest per-operator q-error across buffered profiles",
+        )
         self._g_audit_records = registry.gauge(
             "mars_audit_records_total", "audit entries written this incarnation"
         )
@@ -885,6 +926,9 @@ class PublishingService:
             self._g_events_dropped.set(stats.events_dropped)
             self._g_uptime.set(stats.uptime_seconds)
             self._g_health.set(self.health().value)
+            if self.profile_buffer is not None:
+                self._g_profile_buffer.set(len(self.profile_buffer))
+                self._g_profile_worst_q.set(self.profile_buffer.worst_q_error())
             for entry in stats.slo:
                 self._g_slo_target.labels(query=entry.key).set(entry.target_p99)
                 self._g_slo_p99.labels(query=entry.key).set(entry.window_p99)
@@ -1072,6 +1116,22 @@ class PublishingService:
             "traces": self.trace_buffer.recent(n),
             "completed": self.trace_buffer.completed,
             "recorded": self.trace_buffer.recorded,
+        }
+
+    def _profiles_recent(self, n: int) -> Dict[str, object]:
+        buffer = self.profile_buffer
+        return {
+            "profiles": buffer.recent(n),
+            "offered": buffer.offered,
+            "recorded": buffer.recorded,
+            "sample": buffer.sample,
+        }
+
+    def _profiles_worst(self, n: int) -> Dict[str, object]:
+        buffer = self.profile_buffer
+        return {
+            "profiles": buffer.worst(n),
+            "worst_q_error": buffer.worst_q_error(),
         }
 
     def _build_shard_pools(
@@ -1306,7 +1366,9 @@ class PublishingService:
         (or *trace* forcing it for this call) the span tree is kept on
         :attr:`last_trace`.
         """
-        rows, _ = self._publish_traced(query, distinct, strategy, trace)
+        rows, _tracked, _profile = self._publish_traced(
+            query, distinct, strategy, trace
+        )
         return rows
 
     def _publish_traced(
@@ -1315,12 +1377,26 @@ class PublishingService:
         distinct: bool,
         strategy: Optional[str],
         trace: bool,
+        profile: bool = False,
     ):
         if self._closed:
             raise StorageError("PublishingService is closed")
         effective = self._check_strategy(strategy, distinct)
         tracked = self.tracer.trace(
             "publish", force=trace, query=query.name, strategy=effective
+        )
+        # The profiling decision is made *before* execution (forced by
+        # explain(analyze=True), else the buffer's deterministic 1-in-N
+        # sampler): unsampled publishes run against NULL_PROFILE and
+        # build no operator tree at all.
+        profiling = profile or (
+            self.profile_buffer is not None
+            and self.profile_buffer.should_sample()
+        )
+        proot = (
+            ProfileNode("execute", query.name, strategy=effective)
+            if profiling
+            else None
         )
         # The LSN barrier this request is served at (read-your-writes):
         # captured up front so the audit entry records the guarantee made.
@@ -1334,11 +1410,43 @@ class PublishingService:
                     reform_seconds = reform_clock.stop()
                     plan = self.plan_for(reformulation, strategy=effective)
                     exec_clock = timer()
-                    rows = self._run_plan(plan, distinct)
+                    if proot is not None:
+                        if reformulation.candidate_costs:
+                            # The planner's rejected alternatives, priced:
+                            # estimate-vs-actual attribution should name
+                            # what *could* have run, not just what did.
+                            proot.annotate(
+                                candidate_costs=[
+                                    [name, round(cost, 3)]
+                                    for name, cost in (
+                                        reformulation.candidate_costs
+                                    )
+                                ]
+                            )
+                        with proot:
+                            rows = self._run_plan(plan, distinct)
+                        proot.finish(actual_rows=len(rows))
+                    else:
+                        rows = self._run_plan(plan, distinct)
                     exec_seconds = exec_clock.stop()
         except Exception:
             self._m_publish_errors.inc()
             raise
+        query_profile: Optional[QueryProfile] = None
+        if proot is not None:
+            query_profile = QueryProfile(
+                proot,
+                query=query.name,
+                strategy=effective,
+                plan=getattr(plan, "name", ""),
+                forced=profile,
+            )
+            self.last_profile = query_profile
+            if self.profile_buffer is not None:
+                if self.profile_buffer.record(query_profile):
+                    self._m_profiles.inc()
+            else:
+                self._m_profiles.inc()
         seconds = clock.stop()
         # Per-phase attribution: from the span tree when tracing is live,
         # else the two coarse timers above — the slow-query log and the
@@ -1359,7 +1467,10 @@ class PublishingService:
             self._m_slo_requests.labels(query=query.name).inc()
             if violated:
                 self._m_slo_violations.labels(query=query.name).inc()
-        self._record_feedback(query, reformulation, plan, len(rows), exec_seconds)
+        self._record_feedback(
+            query, reformulation, plan, len(rows), exec_seconds,
+            profile=query_profile,
+        )
         self._note_slow(query, seconds, len(rows), phases)
         if tracked.enabled:
             tracked.root.annotate(rows=len(rows))
@@ -1376,15 +1487,34 @@ class PublishingService:
                 lsn=barrier_lsn,
                 tracked=tracked,
             )
-        return rows, tracked
+        return rows, tracked, query_profile
 
     def _record_feedback(
-        self, query, reformulation, plan, actual_rows: int, seconds: float
+        self,
+        query,
+        reformulation,
+        plan,
+        actual_rows: int,
+        seconds: float,
+        profile: Optional[QueryProfile] = None,
     ) -> None:
-        """Feed one execution's outcome to the cost-feedback recorder."""
+        """Feed one execution's outcome to the cost-feedback recorder.
+
+        A profiled publish also names its worst *operator* — the node
+        with the largest per-operator q-error — so the misestimation
+        report can point at the join step or shard fragment the error
+        came from instead of the whole plan.
+        """
         estimate = reformulation.cost_estimate
         if estimate is None:
             return
+        worst_operator = None
+        worst_q = 1.0
+        if profile is not None:
+            worst = profile.worst_operator()
+            if worst is not None:
+                worst_operator = worst.describe()
+                worst_q = worst.q_error or 1.0
         self.cost_feedback.record(
             fingerprint=query.fingerprint(),
             plan_name=getattr(plan, "name", ""),
@@ -1392,6 +1522,8 @@ class PublishingService:
             estimated_cost=getattr(estimate, "total", 0.0),
             actual_rows=actual_rows,
             actual_seconds=seconds,
+            worst_operator=worst_operator,
+            worst_operator_q_error=worst_q,
         )
         self._m_feedback.inc()
 
@@ -1972,17 +2104,29 @@ class PublishingService:
         distinct: bool = True,
         strategy: Optional[str] = None,
         trace: bool = False,
-    ) -> str:
-        """The plan the service would run for *query*, as text.
+        analyze: bool = False,
+    ):
+        """The plan the service would run for *query* — or what it *did*.
 
-        Shows the (possibly cached) reformulation, the ranked candidate
-        costs and the backend's own explanation.  With *trace* the query
-        is actually published once with tracing forced on, and the
-        resulting span tree is appended (and kept on :attr:`last_trace`
-        for JSON export).
+        Without *analyze*: the (possibly cached) reformulation, the
+        ranked candidate costs and the backend's own explanation, as
+        text.  With ``analyze=True`` the query is actually published
+        once with profiling forced on (regardless of ``profile_sample``)
+        and the structured :class:`~repro.profile.QueryProfile` is
+        returned instead — its root ``actual_rows`` is the published row
+        count, its operator nodes carry per-operator estimate-vs-actual
+        attribution, and it is also kept on :attr:`last_profile` (and in
+        the profile buffer when one is configured).  With *trace* the
+        query is published once with tracing forced on, and the
+        resulting span tree is appended to the text.
         """
         if self._closed:
             raise StorageError("PublishingService is closed")
+        if analyze:
+            _rows, _tracked, profiled = self._publish_traced(
+                query, distinct, strategy, trace, profile=True
+            )
+            return profiled
         effective = self._check_strategy(strategy, distinct)
         with self._gate.read():
             reformulation = self.reformulate(query)
@@ -2003,7 +2147,7 @@ class PublishingService:
                     "  " + line for line in explain(plan).splitlines()
                 )
         if trace:
-            _rows, tracked = self._publish_traced(
+            _rows, tracked, _profile = self._publish_traced(
                 query, distinct, effective, True
             )
             lines.append("")

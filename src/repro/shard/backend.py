@@ -37,6 +37,13 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 from ..errors import EvaluationError, SchemaError, StorageError
 from ..logical.queries import ConjunctiveQuery, UnionQuery
 from ..obs.trace import current_span
+from ..profile import (
+    MERGE,
+    NULL_PROFILE,
+    SHARD_FRAGMENT,
+    UNION_BRANCH,
+    current_profile,
+)
 from ..storage.backends.base import Query, Row, StorageBackend, create_backend
 from ..storage.backends.memory import MemoryBackend
 from .executor import ScatterGatherExecutor, merge_rows
@@ -474,14 +481,17 @@ class ShardedBackend(StorageBackend):
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def route_plan(self, plan: Query) -> RoutePlan:
+    def route_plan(self, plan: Query, annotate: bool = False) -> RoutePlan:
         """The routing decisions for *plan* (one per union disjunct)."""
         self._require_open()
-        return self.router.route_plan(plan)
+        return self.router.route_plan(plan, annotate=annotate)
 
     def execute(self, query: Query, distinct: bool = True) -> List[Row]:
         with current_span().child("route") as span:
-            plan = self.route_plan(query)
+            # With a profile active, pay for the describe-only cost
+            # annotations too: the profile nodes should carry the chosen
+            # *and* rejected estimates, not just the modes.
+            plan = self.route_plan(query, annotate=bool(current_profile()))
             span.annotate(
                 disjuncts=len(plan.decisions),
                 modes=[decision.mode for _q, decision in plan.decisions],
@@ -513,8 +523,11 @@ class ShardedBackend(StorageBackend):
         )
         # The ambient span is thread-local; capture it here so the task
         # closures below can parent their per-shard spans from the
-        # scatter/gather worker threads.
+        # scatter/gather worker threads.  The ambient profile node is
+        # captured for the same reason: per-shard fragment profiles are
+        # built on worker threads and grafted under the decision node.
         parent = current_span()
+        profile = current_profile()
         is_union = isinstance(query, UnionQuery)
         if (
             is_union
@@ -529,20 +542,40 @@ class ShardedBackend(StorageBackend):
             # fragment per disjunct that mentions it.
             return self._execute_gather_union(plan, distinct, engines)
         per_disjunct: List[List[Row]] = []
-        for disjunct, decision in plan.decisions:
+        for position, (disjunct, decision) in enumerate(plan.decisions):
+            if profile:
+                # The scatter/gather node the per-shard fragment profiles
+                # graft under, carrying the router's decision — mode,
+                # reason, and (when a cost model priced it) the chosen and
+                # rejected-alternative costs.
+                decision_node = profile.child(
+                    UNION_BRANCH if is_union else decision.mode,
+                    disjunct.name,
+                    disjunct=position,
+                    **decision.profile_attributes(),
+                )
+            else:
+                decision_node = NULL_PROFILE
             if decision.mode == MODE_GATHER:
                 with parent.child(
                     "shard.gather", shards=sorted(decision.shards)
                 ):
-                    rows = self._execute_gather(
-                        decision, disjunct, distinct, engines
-                    )
+                    with decision_node:
+                        rows = self._execute_gather(
+                            decision, disjunct, distinct, engines
+                        )
+                    decision_node.finish(actual_rows=len(rows))
             else:
                 tasks = [
                     (
                         shard,
                         lambda shard=shard: self._traced_shard_execute(
-                            parent, shard, engines[shard], disjunct, distinct
+                            parent,
+                            decision_node,
+                            shard,
+                            engines[shard],
+                            disjunct,
+                            distinct,
                         ),
                     )
                     for shard in decision.shards
@@ -551,26 +584,43 @@ class ShardedBackend(StorageBackend):
                 with self._stats_lock:
                     for shard in decision.shards:
                         self._executions[shard] += 1
+                merge_node = decision_node.child(
+                    MERGE, f"{disjunct.name}[merge]", inputs=len(results)
+                )
                 with parent.child("merge", inputs=len(results)) as merge_span:
                     rows = merge_rows(results, distinct)
                     merge_span.annotate(rows=len(rows))
+                merge_node.finish(actual_rows=len(rows))
+                decision_node.finish(actual_rows=len(rows))
             per_disjunct.append(rows)
         if not is_union:
             return per_disjunct[0]
         # Same set/bag semantics as the per-shard merge, across disjuncts.
+        union_merge = profile.child(MERGE, "union", inputs=len(per_disjunct))
         with parent.child(
             "merge", inputs=len(per_disjunct), union=True
         ) as merge_span:
             rows = merge_rows(list(enumerate(per_disjunct)), distinct)
             merge_span.annotate(rows=len(rows))
+        union_merge.finish(actual_rows=len(rows))
         return rows
 
     @staticmethod
-    def _traced_shard_execute(parent, shard, engine, disjunct, distinct):
+    def _traced_shard_execute(parent, profile_parent, shard, engine, disjunct, distinct):
         with parent.child(
             "shard.execute", shard=shard, engine=engine.backend_name
         ) as span:
-            rows = engine.execute(disjunct, distinct=distinct)
+            if profile_parent:
+                with profile_parent.child(
+                    SHARD_FRAGMENT,
+                    f"{disjunct.name}@shard{shard}",
+                    shard=shard,
+                    engine=engine.backend_name,
+                ) as fragment:
+                    rows = engine.execute(disjunct, distinct=distinct)
+                    fragment.finish(actual_rows=len(rows))
+            else:
+                rows = engine.execute(disjunct, distinct=distinct)
             span.annotate(rows=len(rows))
             return rows
 
@@ -582,18 +632,28 @@ class ShardedBackend(StorageBackend):
         engines: Mapping[int, StorageBackend],
     ) -> List[Row]:
         """Pull pruned table fragments to a scratch store and evaluate there."""
+        profile = current_profile()
         scratch = MemoryBackend()
         for table, shards in decision.fetch_shards:
             arity = self._require_table(table)
             scratch.create_table(table, arity, self._attributes[table])
             fragments: List[Sequence[Row]] = []
             for shard in shards:
-                fragments.append(engines[shard].rows(table))
+                fragment_rows = engines[shard].rows(table)
+                if profile:
+                    fragment = profile.child(
+                        SHARD_FRAGMENT,
+                        f"{table}@shard{shard}",
+                        shard=shard,
+                        relation=table,
+                    )
+                    fragment.finish(actual_rows=len(fragment_rows))
+                fragments.append(fragment_rows)
             with self._stats_lock:
                 for shard in shards:
                     self._gather_fetches[shard] += 1
-            for fragment in fragments:
-                scratch.insert_many(table, fragment)
+            for fragment_rows in fragments:
+                scratch.insert_many(table, fragment_rows)
         return scratch.execute(query, distinct=distinct)
 
     def _execute_gather_union(
@@ -611,6 +671,7 @@ class ShardedBackend(StorageBackend):
         different shards.  The saved fetch count is recorded on the
         router's stats (``gather_unions_batched``/``fragment_fetches_saved``).
         """
+        profile = current_profile()
         needed: Dict[str, set] = {}
         per_disjunct_fetches = 0
         for _disjunct, decision in plan.decisions:
@@ -629,25 +690,51 @@ class ShardedBackend(StorageBackend):
             arity = self._require_table(table)
             scratch.create_table(table, arity, self._attributes[table])
             for shard in shards:
-                scratch.insert_many(table, engines[shard].rows(table))
+                fragment_rows = engines[shard].rows(table)
+                if profile:
+                    fragment = profile.child(
+                        SHARD_FRAGMENT,
+                        f"{table}@shard{shard}",
+                        shard=shard,
+                        relation=table,
+                    )
+                    fragment.finish(actual_rows=len(fragment_rows))
+                scratch.insert_many(table, fragment_rows)
             fetched += len(shards)
             with self._stats_lock:
                 for shard in shards:
                     self._gather_fetches[shard] += 1
         self.router.note_union_batch(per_disjunct_fetches - fetched)
-        per_disjunct = [
-            (index, scratch.execute(disjunct, distinct=distinct))
-            for index, (disjunct, _decision) in enumerate(plan.decisions)
-        ]
-        return merge_rows(per_disjunct, distinct)
+        per_disjunct = []
+        for index, (disjunct, decision) in enumerate(plan.decisions):
+            if profile:
+                with profile.child(
+                    UNION_BRANCH,
+                    disjunct.name,
+                    disjunct=index,
+                    **decision.profile_attributes(),
+                ) as branch:
+                    result = scratch.execute(disjunct, distinct=distinct)
+                    branch.finish(actual_rows=len(result))
+            else:
+                result = scratch.execute(disjunct, distinct=distinct)
+            per_disjunct.append((index, result))
+        union_merge = profile.child(MERGE, "union", inputs=len(per_disjunct))
+        rows = merge_rows(per_disjunct, distinct)
+        union_merge.finish(actual_rows=len(rows))
+        return rows
 
     def explain(self, query: Query) -> str:
-        """The routing decisions plus the first target shard's own plan.
+        """The actual routing decisions plus the first target shard's plan.
 
-        With a cost model attached (:meth:`refresh_statistics`) each
-        decision also reports its estimated cost, and — where two modes
-        were sound — the rejected alternative's cost next to it (the
-        serving path skips those annotations; see ``ShardRouter.route``).
+        Every decision renders through
+        :meth:`~repro.shard.router.RoutingDecision.describe_lines`, the
+        same structured decision the serving path executes — so with a
+        cost model attached (:meth:`refresh_statistics`) the output shows
+        the chosen mode's estimate *and* the rejected alternative's cost,
+        and states whether a cost comparison or a fixed rule decided,
+        instead of re-deriving a rule-based story the cost model may have
+        overridden.
         """
         self._require_open()
         plan = self.router.route_plan(query, annotate=True)
@@ -656,25 +743,11 @@ class ShardedBackend(StorageBackend):
             f"({self.shard_count} shards):"
         ]
         for disjunct, decision in plan.decisions:
+            described = decision.describe_lines()
+            lines.append(f"  {disjunct.name}: {described[0]}")
+            lines.extend(f"    {line}" for line in described[1:])
             if decision.mode == MODE_GATHER:
-                fetch = ", ".join(
-                    f"{table}<-shards{list(shards)}"
-                    for table, shards in decision.fetch_shards
-                )
-                lines.append(
-                    f"  {disjunct.name}: gather at coordinator ({fetch}) "
-                    f"[{decision.reason}]"
-                )
-                if decision.cost_summary():
-                    lines.append(f"    {decision.cost_summary()}")
                 continue
-            mode = "single-shard" if decision.mode == MODE_SINGLE else "scatter"
-            lines.append(
-                f"  {disjunct.name}: {mode} -> shards {list(decision.shards)} "
-                f"[{decision.reason}]"
-            )
-            if decision.cost_summary():
-                lines.append(f"    {decision.cost_summary()}")
             child_plan = self._children[decision.shards[0]].explain(disjunct)
             lines.extend(
                 f"    [shard {decision.shards[0]}] {line}"

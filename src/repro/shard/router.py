@@ -95,6 +95,58 @@ class RoutingDecision:
             )
         return summary
 
+    def describe_lines(self) -> Tuple[str, ...]:
+        """The decision as rendered lines — one source for every explain.
+
+        The first line is the chosen mode, its targets and the reason; a
+        second line (when a cost model priced the decision) carries the
+        chosen estimate and the rejected alternative's cost, flagging
+        whether the mode was picked by cost comparison or by a fixed
+        rule.  ``ShardedBackend.explain`` and ``ReplicatedBackend.explain``
+        both render decisions through this, so the explain output always
+        shows the *actual* decision the serving path would make.
+        """
+        if self.mode == MODE_GATHER:
+            fetch = ", ".join(
+                f"{table}<-shards{list(shards)}"
+                for table, shards in self.fetch_shards
+            )
+            head = f"gather at coordinator ({fetch}) [{self.reason}]"
+        elif self.mode == MODE_SINGLE:
+            head = f"single-shard -> shards {list(self.shards)} [{self.reason}]"
+        else:
+            head = f"scatter -> shards {list(self.shards)} [{self.reason}]"
+        lines = [head]
+        if self.estimated_cost is not None:
+            chooser = "cost comparison" if self.cost_based else "fixed rule"
+            lines.append(f"{self.cost_summary()} [decided by {chooser}]")
+        return tuple(lines)
+
+    def profile_attributes(self) -> Dict[str, object]:
+        """The decision as JSON-able profile-node attributes.
+
+        This is how the router's choice — and the rejected alternative's
+        cost — travels into :class:`~repro.profile.QueryProfile` trees.
+        """
+        attributes: Dict[str, object] = {
+            "mode": self.mode,
+            "reason": self.reason,
+            "cost_based": self.cost_based,
+        }
+        if self.mode == MODE_GATHER:
+            attributes["fetch_shards"] = [
+                [table, list(shards)] for table, shards in self.fetch_shards
+            ]
+        else:
+            attributes["shards"] = list(self.shards)
+        if self.estimated_cost is not None:
+            attributes["estimated_cost"] = round(self.estimated_cost, 3)
+        if self.alternative_mode is not None:
+            attributes["rejected_mode"] = self.alternative_mode
+            if self.alternative_cost is not None:
+                attributes["rejected_cost"] = round(self.alternative_cost, 3)
+        return attributes
+
     @property
     def needed_shards(self) -> Tuple[int, ...]:
         """Every shard this decision touches (execution or fragment fetch)."""

@@ -25,6 +25,13 @@ class MemoryBackend(StorageBackend):
     the hash-join evaluator scans, so cost estimates derived from a memory
     backend describe exactly the data it will join; :meth:`explain` uses
     the same distinct counts for its per-step cardinality estimates.
+
+    When a query profile is active (``explain(analyze=True)`` or the
+    service's 1-in-N sampler), the evaluator emits one ``scan``/
+    ``join-step`` operator node per hash-join step — carrying the same
+    uniformity-model estimate :meth:`explain` prints, now paired with the
+    step's *actual* intermediate cardinality — into the ambient
+    :func:`repro.profile.current_profile` sink.
     """
 
     backend_name = "memory"

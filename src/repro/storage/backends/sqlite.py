@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 from ...errors import EvaluationError, SchemaError, StorageError
 from ...logical.queries import ConjunctiveQuery, UnionQuery
 from ...logical.terms import Variable, is_variable
+from ...profile import SCAN, STATEMENT, UNION_BRANCH, current_profile
 from ..sql import SQLQuery, quote_identifier, render_sql_query, render_union_sql_query
 from .base import Query, Row, StorageBackend
 
@@ -94,6 +95,10 @@ class SQLiteBackend(StorageBackend):
         self._state_lock = threading.Lock()
         self._inflight = 0
         self._connection_released = False
+        # (name, position) -> (row count when measured, distinct count):
+        # the profile estimator's memo, invalidated by row-count change,
+        # so sampled profiling does not re-run COUNT(DISTINCT) per query.
+        self._distinct_cache: Dict[Tuple[str, int], Tuple[int, int]] = {}
         self._adopt_existing_tables()
 
     def _require_open(self) -> None:
@@ -388,10 +393,28 @@ class SQLiteBackend(StorageBackend):
         if self.auto_index:
             self.ensure_indexes(query)
         statement = self.compile_query(query, distinct=distinct)
+        profile = current_profile()
+        if profile:
+            # The engine is a black box below the statement, so the row
+            # counter sits on the statement node (estimate vs. the rows
+            # the cursor actually produced); per-atom ``scan`` children
+            # carry the real table cardinalities the statement read.
+            node = profile.child(
+                STATEMENT,
+                getattr(query, "name", "<query>"),
+                estimated_rows=self._profile_estimate(query),
+                engine="sqlite",
+            )
+            self._attach_profile_scans(node, query)
+        else:
+            node = None
         try:
             cursor = self._connection.execute(statement.sql, statement.params)
-            return [tuple(row) for row in cursor.fetchall()]
+            result = [tuple(row) for row in cursor.fetchall()]
         except sqlite3.Error as error:
+            if node is not None:
+                node.annotate(error=type(error).__name__)
+                node.finish()
             if self._closed:
                 # The connection was closed out from under a running query
                 # (a replica killed mid-read): that is an engine failure,
@@ -403,6 +426,64 @@ class SQLiteBackend(StorageBackend):
             raise EvaluationError(
                 f"SQLite rejected the reformulation SQL: {error}\n{statement.sql}"
             ) from error
+        if node is not None:
+            node.finish(actual_rows=len(result))
+        return result
+
+    def _profile_distinct_count(self, name: str, position: int, rows: int) -> int:
+        """Distinct values in one column (>= 1), memoized per row count."""
+        key = (name, position)
+        cached = self._distinct_cache.get(key)
+        if cached is not None and cached[0] == rows:
+            return cached[1]
+        column = self._attributes[name][position]
+        cursor = self._connection.execute(
+            f"SELECT COUNT(DISTINCT {quote_identifier(column)}) "
+            f"FROM {quote_identifier(name)}"
+        )
+        distinct = max(1, int(cursor.fetchone()[0]))
+        self._distinct_cache[key] = (rows, distinct)
+        return distinct
+
+    def _profile_estimate(self, query: Query) -> float:
+        """Uniformity-model result estimate (the memory backend's model).
+
+        Only paid while a profile is active; the distinct counts it needs
+        come from :attr:`_distinct_cache`.
+        """
+        if isinstance(query, UnionQuery):
+            return sum(self._profile_estimate(disjunct) for disjunct in query)
+        normalized = query.normalize_equalities()
+        bound: Set[Variable] = set()
+        estimate = 1.0
+        for atom in normalized.relational_body:
+            count = self.cardinality(atom.relation)
+            selectivity = 1.0
+            for position, term in enumerate(atom.terms):
+                if not is_variable(term) or term in bound:
+                    selectivity /= self._profile_distinct_count(
+                        atom.relation, position, count
+                    )
+            estimate *= count * selectivity
+            bound.update(term for term in atom.terms if is_variable(term))
+        return estimate
+
+    def _attach_profile_scans(self, node: "ProfileNode", query: Query) -> None:
+        """Per-atom ``scan`` children (and ``union-branch`` grouping)."""
+        if isinstance(query, UnionQuery):
+            for position, disjunct in enumerate(query):
+                branch = node.child(
+                    UNION_BRANCH,
+                    disjunct.name,
+                    estimated_rows=self._profile_estimate(disjunct),
+                    disjunct=position,
+                )
+                self._attach_profile_scans(branch, disjunct)
+                branch.finish()
+            return
+        for atom in query.normalize_equalities().relational_body:
+            scan = node.child(SCAN, atom.relation, relation=atom.relation)
+            scan.finish(actual_rows=self.cardinality(atom.relation))
 
     def execute_union(self, union: Query, distinct: bool = True) -> List[Row]:
         """Run a whole union reformulation as one SQL statement (one round trip).
@@ -556,6 +637,7 @@ class SQLiteBackend(StorageBackend):
         clone._state_lock = threading.Lock()
         clone._inflight = 0
         clone._connection_released = False
+        clone._distinct_cache = {}
         if self.path in (":memory:", ""):
             self._connection.backup(clone._connection)
         return clone

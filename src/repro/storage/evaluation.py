@@ -5,6 +5,15 @@ relational atoms of the query body, then filters with inequality atoms and
 projects onto the head.  The same machinery is reused (over *symbolic*
 instances) by the set-oriented chase implementation; here it runs over real
 data to execute reformulations and to verify their equivalence in tests.
+
+When a query profile is active (:func:`repro.profile.current_profile`),
+each hash-join step emits one ``scan``/``join-step`` operator node with
+its intermediate binding count as ``actual_rows`` and the textbook
+uniformity estimate — the same model :meth:`MemoryBackend.explain`
+prints — as ``estimated_rows``; union evaluation wraps each disjunct in
+a ``union-branch`` node.  Estimates (the distinct-count passes) are only
+computed while a profile is live, so unprofiled evaluation pays nothing
+beyond one ambient lookup per query.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from ..errors import EvaluationError
 from ..logical.atoms import EqualityAtom, InequalityAtom, RelationalAtom
 from ..logical.queries import ConjunctiveQuery, UnionQuery
 from ..logical.terms import Constant, Term, Variable, is_variable
+from ..profile import JOIN_STEP, SCAN, UNION_BRANCH, current_profile
 from .relational_db import InMemoryDatabase, Row
 
 Binding = Dict[Variable, object]
@@ -61,15 +71,35 @@ def evaluate_query(
     giving hash-join behaviour without materializing intermediate tables.
     """
     query = query.normalize_equalities()
+    profile = current_profile()
+    estimate = 1.0
     bindings: List[Binding] = [{}]
     bound_vars: List[Variable] = []
-    for atom in query.relational_body:
+    for step, atom in enumerate(query.relational_body, start=1):
         if not database.has_table(atom.relation):
             raise EvaluationError(
                 f"query {query.name} references unknown table {atom.relation!r}"
             )
         rows = database.table(atom.relation).rows
         key_positions = _atom_join_key(atom, bound_vars)
+        if profile:
+            # Uniformity-model estimate, the same arithmetic as
+            # MemoryBackend.explain: each probed column divides the
+            # running cardinality by its distinct-value count.
+            selectivity = 1.0
+            for position in key_positions:
+                distinct = len({row[position] for row in rows})
+                selectivity /= max(1, distinct)
+            estimate *= len(rows) * selectivity
+            node = profile.child(
+                JOIN_STEP if key_positions else SCAN,
+                f"{atom.relation}[step {step}]",
+                estimated_rows=estimate,
+                relation=atom.relation,
+                probe_positions=tuple(key_positions),
+            )
+        else:
+            node = None
         index: Dict[Tuple[object, ...], List[Row]] = {}
         for row in rows:
             key = tuple(row[position] for position in key_positions)
@@ -88,6 +118,8 @@ def evaluate_query(
                 if extended is not None:
                     new_bindings.append(extended)
         bindings = new_bindings
+        if node is not None:
+            node.finish(actual_rows=len(bindings))
         for term in atom.terms:
             if is_variable(term) and term not in bound_vars:
                 bound_vars.append(term)
@@ -138,10 +170,19 @@ def evaluate_union(
     union: UnionQuery, database: InMemoryDatabase, distinct: bool = True
 ) -> List[Row]:
     """Evaluate a union of conjunctive queries (set semantics when *distinct*)."""
+    profile = current_profile()
     results: List[Row] = []
     seen = set()
-    for disjunct in union:
-        for row in evaluate_query(disjunct, database, distinct=distinct):
+    for position, disjunct in enumerate(union):
+        if profile:
+            with profile.child(
+                UNION_BRANCH, disjunct.name, disjunct=position
+            ) as branch:
+                produced = evaluate_query(disjunct, database, distinct=distinct)
+                branch.finish(actual_rows=len(produced))
+        else:
+            produced = evaluate_query(disjunct, database, distinct=distinct)
+        for row in produced:
             if distinct:
                 if row in seen:
                     continue

@@ -1,0 +1,389 @@
+"""Per-operator query profiles: tree invariants across the backend matrix.
+
+The structured EXPLAIN ANALYZE protocol promises a handful of invariants
+no matter which engine executed the plan:
+
+* the root node's ``actual_rows`` is exactly the published row count;
+* every child operator's elapsed time fits inside its parent's window;
+* engine-specific operators appear where they must (shard fragments
+  with real per-shard cardinalities on a sharded deployment, a
+  replica-read node naming the serving copy on a replicated one);
+* the 1-in-N sampler is deterministic per seed, and the bounded buffer
+  stays consistent under concurrent recording.
+
+The matrix fixture flips ``MARS_BACKEND`` (plus the shard/replica
+counts) exactly the way CI's tier-1 legs do, so every invariant is
+checked on ``memory``, ``sqlite``, ``sharded`` and ``replicated``.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.feedback import Q_ERROR_CAP, q_error
+from repro.profile import (
+    JOIN_STEP,
+    MERGE,
+    NULL_PROFILE,
+    ProfileBuffer,
+    ProfileNode,
+    QueryProfile,
+    REPLICA_READ,
+    SCAN,
+    SHARD_FRAGMENT,
+    current_profile,
+)
+from repro.serve import PublishingService
+from repro.workloads import medical
+
+BACKENDS = ("memory", "sqlite", "sharded", "replicated")
+
+
+@pytest.fixture(params=BACKENDS)
+def profiled_service(request, monkeypatch):
+    """A profiling service (sample=1) on each backend of the matrix."""
+    monkeypatch.setenv("MARS_BACKEND", request.param)
+    monkeypatch.setenv("MARS_SHARDS", "3")
+    monkeypatch.setenv("MARS_REPLICAS", "2")
+    service = PublishingService(
+        medical.build_configuration(), pool_size=2, profile_sample=1
+    )
+    try:
+        yield request.param, service
+    finally:
+        service.close()
+
+
+class TestProfileTreeInvariants:
+    def test_root_actual_rows_equals_published_rows(self, profiled_service):
+        _backend, service = profiled_service
+        rows = service.publish(medical.client_query())
+        profile = service.last_profile
+        assert profile is not None
+        assert profile.actual_rows == len(rows)
+
+    def test_child_elapsed_fits_inside_parent(self, profiled_service):
+        _backend, service = profiled_service
+        service.publish(medical.client_query())
+        profile = service.last_profile
+        seen = 0
+
+        def check(node):
+            nonlocal seen
+            for child in node.children:
+                seen += 1
+                assert child.elapsed_seconds <= node.elapsed_seconds + 1e-6, (
+                    f"{child.describe()} ({child.elapsed_seconds}s) outlives "
+                    f"{node.describe()} ({node.elapsed_seconds}s)"
+                )
+                assert child.start >= node.start - 1e-6
+                check(child)
+
+        check(profile.root)
+        assert seen > 0, "profiled publish produced a childless tree"
+
+    def test_every_finished_node_is_closed(self, profiled_service):
+        _backend, service = profiled_service
+        service.publish(medical.client_query())
+        for node in service.last_profile.operators():
+            assert node.end is not None, f"{node.describe()} never finished"
+
+    def test_operator_kinds_match_backend(self, profiled_service):
+        backend, service = profiled_service
+        rows = service.publish(medical.client_query())
+        kinds = {node.kind for node in service.last_profile.operators()}
+        if backend == "memory":
+            assert kinds & {SCAN, JOIN_STEP}
+        if backend == "sqlite":
+            assert "statement" in kinds
+        if backend == "sharded":
+            assert SHARD_FRAGMENT in kinds
+            fragments = [
+                node
+                for node in service.last_profile.operators()
+                if node.kind == SHARD_FRAGMENT
+            ]
+            # Fragment cardinalities are real: per relation they sum to
+            # the template's full table, fragment by fragment.
+            totals = {}
+            for fragment in fragments:
+                relation = fragment.attributes.get("relation")
+                if relation is not None:
+                    totals[relation] = (
+                        totals.get(relation, 0) + fragment.actual_rows
+                    )
+            template = service.executor.backend
+            for relation, total in totals.items():
+                assert total == template.cardinality(relation)
+        if backend == "replicated":
+            reads = [
+                node
+                for node in service.last_profile.operators()
+                if node.kind == REPLICA_READ
+            ]
+            assert reads, "replicated publish recorded no replica-read node"
+            served = reads[-1]
+            assert served.attributes["replica"] in (0, 1)
+            assert served.actual_rows == len(rows)
+
+    def test_explain_analyze_returns_structured_profile(
+        self, profiled_service
+    ):
+        _backend, service = profiled_service
+        rows = service.publish(medical.client_query())
+        profile = service.explain(medical.client_query(), analyze=True)
+        assert isinstance(profile, QueryProfile)
+        assert profile.actual_rows == len(rows)
+        assert profile.metadata["forced"] is True
+        # The structured export round-trips: the dict mirrors the tree.
+        exported = profile.to_dict()
+        assert exported["profile"]["actual_rows"] == len(rows)
+        assert profile.to_json()
+
+    def test_worst_operator_reaches_misestimation_report(
+        self, profiled_service
+    ):
+        _backend, service = profiled_service
+        service.publish(medical.client_query())
+        report = service.misestimation_report()
+        assert report, "profiled publish produced no feedback entry"
+        worst = service.last_profile.worst_operator()
+        if worst is not None:
+            assert report[0].worst_operator == worst.describe()
+            assert report[0].worst_operator_q_error == pytest.approx(
+                worst.q_error or 1.0
+            )
+
+
+class TestExplainAnalyzeForcedWhenSamplingDisabled:
+    def test_analyze_profiles_without_a_buffer(self):
+        service = PublishingService(
+            medical.build_configuration(), pool_size=2, profile_sample=0
+        )
+        try:
+            assert service.profile_buffer is None
+            rows = service.publish(medical.client_query())
+            # Sampling disabled: the ordinary publish left no profile.
+            assert service.last_profile is None
+            profile = service.explain(medical.client_query(), analyze=True)
+            assert profile.actual_rows == len(rows)
+            assert service.last_profile is profile
+        finally:
+            service.close()
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            PublishingService(
+                medical.build_configuration(), pool_size=2, profile_sample=-1
+            )
+
+
+class TestSamplerDeterminism:
+    def test_same_seed_fires_identically(self):
+        first = ProfileBuffer(sample=3, seed=1)
+        second = ProfileBuffer(sample=3, seed=1)
+        a = [first.should_sample() for _ in range(9)]
+        b = [second.should_sample() for _ in range(9)]
+        assert a == b
+        assert a.count(True) == 3
+
+    def test_seed_shifts_which_publish_fires(self):
+        by_seed = {
+            seed: [
+                ProfileBuffer(sample=3, seed=seed).should_sample()
+                for _ in range(1)
+            ]
+            for seed in range(3)
+        }
+        # seed 0 fires on the first publish, other residues do not.
+        assert by_seed[0] == [True]
+        assert by_seed[1] == [False]
+        buffer = ProfileBuffer(sample=3, seed=1)
+        fired = [buffer.should_sample() for _ in range(7)]
+        assert fired == [False, False, True, False, False, True, False]
+
+    def test_sample_one_profiles_everything(self):
+        buffer = ProfileBuffer(sample=1)
+        assert all(buffer.should_sample() for _ in range(5))
+
+    def test_service_sampling_is_deterministic(self, monkeypatch):
+        monkeypatch.setenv("MARS_BACKEND", "memory")
+
+        def recorded_count(publishes: int) -> int:
+            service = PublishingService(
+                medical.build_configuration(),
+                pool_size=2,
+                profile_sample=3,
+            )
+            try:
+                for _ in range(publishes):
+                    service.publish(medical.client_query())
+                return service.profile_buffer.recorded
+            finally:
+                service.close()
+
+        # 1-in-3 with the default seed: publishes 1, 4, 7 are profiled.
+        assert recorded_count(7) == 3
+        assert recorded_count(7) == 3
+
+
+class TestProfileBufferConcurrency:
+    def test_eight_thread_stress_stays_consistent(self):
+        buffer = ProfileBuffer(maxlen=16, sample=1)
+        per_thread = 50
+        threads = 8
+        errors = []
+
+        def worker(tag: int) -> None:
+            try:
+                for index in range(per_thread):
+                    buffer.should_sample()
+                    root = ProfileNode("execute", f"t{tag}q{index}")
+                    with root:
+                        child = root.child(SCAN, "r", estimated_rows=2.0)
+                        child.finish(actual_rows=4)
+                    root.finish(actual_rows=4)
+                    buffer.record(
+                        QueryProfile(root, query=f"t{tag}q{index}")
+                    )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        pool = [
+            threading.Thread(target=worker, args=(tag,))
+            for tag in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert not errors
+        assert buffer.offered == threads * per_thread
+        assert buffer.recorded == threads * per_thread
+        assert len(buffer) == 16  # bounded: only maxlen retained
+        exported = buffer.recent()
+        assert len(exported) == 16
+        for entry in exported:
+            assert entry["profile"]["actual_rows"] == 4
+            assert entry["worst_q_error"] == 2.0
+        assert buffer.worst_q_error() == 2.0
+
+    def test_concurrent_publishes_each_get_their_own_tree(self, monkeypatch):
+        monkeypatch.setenv("MARS_BACKEND", "memory")
+        service = PublishingService(
+            medical.build_configuration(), pool_size=4, profile_sample=1
+        )
+        errors = []
+
+        def worker() -> None:
+            try:
+                for _ in range(5):
+                    rows = service.publish(medical.client_query())
+                    assert rows
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        try:
+            pool = [threading.Thread(target=worker) for _ in range(8)]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+            assert not errors
+            assert service.profile_buffer.recorded == 40
+            for entry in service.profile_buffer.recent():
+                assert entry["profile"]["actual_rows"] is not None
+        finally:
+            service.close()
+
+
+class TestAmbientSink:
+    def test_no_profile_means_null_profile(self):
+        assert current_profile() is NULL_PROFILE
+        assert not current_profile()
+        # The null node absorbs instrumentation without allocating.
+        assert NULL_PROFILE.child(SCAN, "r") is NULL_PROFILE
+        NULL_PROFILE.finish(actual_rows=3)
+        NULL_PROFILE.annotate(anything=1)
+        assert NULL_PROFILE.actual_rows is None
+        assert NULL_PROFILE.to_dict() == {}
+
+    def test_nesting_restores_the_outer_node(self):
+        outer = ProfileNode("execute", "outer")
+        with outer:
+            assert current_profile() is outer
+            with outer.child(MERGE, "inner") as inner:
+                assert current_profile() is inner
+            assert current_profile() is outer
+        assert current_profile() is NULL_PROFILE
+
+    def test_exception_annotates_and_closes(self):
+        node = ProfileNode("execute", "boom")
+        with pytest.raises(RuntimeError):
+            with node:
+                raise RuntimeError("kaput")
+        assert node.attributes["error"] == "RuntimeError"
+        assert node.end is not None
+
+
+class TestQErrorGuards:
+    def test_zero_actual_rows_never_divides(self):
+        # Flooring both sides at one row turns "estimated 10, got 0"
+        # into a finite 10x error instead of a division by zero.
+        assert q_error(10.0, 0) == 10.0
+        assert q_error(0, 10.0) == 10.0
+        assert q_error(0, 0) == 1.0
+        assert q_error(1e12, 0) == Q_ERROR_CAP  # capped, never inf
+        node = ProfileNode("scan", "r", estimated_rows=10.0)
+        node.finish(actual_rows=0)
+        assert node.q_error == 10.0
+
+    def test_cap_keeps_prometheus_text_finite(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        gauge = registry.gauge(
+            "mars_profile_worst_q_error_ratio", "worst operator q-error"
+        )
+        gauge.set(q_error(1e12, 0.0))
+        text = registry.render_prometheus()
+        assert "inf" not in text.lower()
+        assert "nan" not in text.lower()
+
+    def test_symmetric_and_floored(self):
+        assert q_error(10, 100) == q_error(100, 10) == 10.0
+        assert q_error(0.25, 1) == 1.0  # both sides floored at one row
+        assert q_error(float("nan"), 5) == Q_ERROR_CAP
+        assert q_error(float("inf"), 5) == Q_ERROR_CAP
+
+
+class TestExplainDecisionRendering:
+    def test_sharded_explain_shows_the_routing_decision(self, monkeypatch):
+        monkeypatch.setenv("MARS_BACKEND", "sharded")
+        monkeypatch.setenv("MARS_SHARDS", "3")
+        service = PublishingService(
+            medical.build_configuration(), pool_size=2
+        )
+        try:
+            text = service.explain(medical.client_query())
+            assert "decided by" in text  # cost comparison vs fixed rule
+            assert (
+                "gather at coordinator" in text
+                or "single-shard" in text
+                or "scatter" in text
+            )
+        finally:
+            service.close()
+
+    def test_replicated_explain_names_the_serving_replica(self, monkeypatch):
+        monkeypatch.setenv("MARS_BACKEND", "replicated")
+        monkeypatch.setenv("MARS_REPLICAS", "2")
+        service = PublishingService(
+            medical.build_configuration(), pool_size=2
+        )
+        try:
+            text = service.explain(medical.client_query())
+            assert "read served by replica" in text
+            assert "failover order" in text
+        finally:
+            service.close()

@@ -53,6 +53,7 @@ def main() -> int:
         admin_port=0,
         audit_dir=audit_dir,
         slo_target_p99=5.0,
+        profile_sample=1,
     )
     published = 0
     try:
@@ -71,6 +72,8 @@ def main() -> int:
             "/ready": 200,
             "/events": 200,
             "/traces/recent": 200,
+            "/profiles/recent": 200,
+            "/profiles/worst": 200,
             "/definitely-not-a-route": 404,
         }
         bodies = {}
@@ -84,6 +87,20 @@ def main() -> int:
         failures.extend(f"/metrics lint: {failure}" for failure in scrape_failures)
         if not scrape_failures:
             print(f"/metrics: {families} families, lint-clean")
+        if "mars_profile" not in scrape:
+            failures.append("/metrics is missing the mars_profile_* family")
+        profiles = json.loads(bodies["/profiles/recent"])
+        if not profiles.get("profiles"):
+            failures.append("/profiles/recent returned no profiles")
+        else:
+            root = profiles["profiles"][0].get("profile", {})
+            if root.get("actual_rows") is None:
+                failures.append(
+                    "/profiles/recent root node is missing actual_rows"
+                )
+        worst = json.loads(bodies["/profiles/worst"])
+        if worst.get("worst_q_error", 0.0) < 1.0:
+            failures.append(f"/profiles/worst q-error malformed: {worst}")
         health = json.loads(bodies["/health"])
         if health.get("status") != "healthy":
             failures.append(f"/health reports {health.get('status')!r}: {health}")

@@ -8,7 +8,11 @@ Polls the admin endpoint's ``/stats`` and ``/health`` routes (see
 ``docs/OBSERVABILITY.md``) and renders one screen per poll: service
 identity and uptime, the health verdict with its reasons, serving and
 write-path counters, pool and replica occupancy, and — when SLO tracking
-is on — the hot-fingerprint table sorted by error-budget burn.
+is on — the hot-fingerprint table sorted by error-budget burn.  When
+query profiling is on (``profile_sample`` > 0), a worst-q-error panel
+fed by ``/profiles/worst`` names the operators whose cardinality
+estimates miss hardest; with profiling disabled the panel is simply
+omitted (the route 404s and the poll carries on).
 
 ``--once`` prints a single snapshot and exits (scripts and tests);
 without it the screen refreshes every ``--interval`` seconds until
@@ -41,11 +45,24 @@ def fetch_health(base: str, timeout: float = 5.0):
         raise
 
 
+def fetch_worst_profiles(base: str, n: int = 5, timeout: float = 5.0):
+    """/profiles/worst, or ``None`` when profiling is off or unreachable.
+
+    A 404 means the service runs with ``profile_sample=0``; any other
+    fetch problem is also swallowed — the panel is optional decoration,
+    and a flaky profile route must not take the whole screen down.
+    """
+    try:
+        return fetch(base + f"/profiles/worst?n={n}", timeout=timeout)
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
 def _bar(label: str, value, width: int = 24) -> str:
     return f"  {label:<28} {value}"
 
 
-def render_snapshot(stats, health) -> str:
+def render_snapshot(stats, health, profiles=None) -> str:
     """One screenful of operator-facing text from the two JSON bodies."""
     lines = []
     status = health.get("status", "unknown") if health else "unknown"
@@ -125,6 +142,21 @@ def render_snapshot(stats, health) -> str:
                 f"{entry.get('target_p99_seconds', 0.0):>8.3f} "
                 f"{burn:>7.2f}{flag}"
             )
+    worst = (profiles or {}).get("profiles") or []
+    if worst:
+        lines.append("")
+        lines.append(
+            f"  {'worst estimates (query)':<24} {'operator':<34} "
+            f"{'q-err':>7} {'rows':>7}"
+        )
+        for entry in worst:
+            root = entry.get("profile", {})
+            lines.append(
+                f"  {str(entry.get('query', '?'))[:24]:<24} "
+                f"{str(entry.get('worst_operator', '-'))[:34]:<34} "
+                f"{entry.get('worst_q_error', 1.0):>7.2f} "
+                f"{root.get('actual_rows', 0) or 0:>7,}"
+            )
     return "\n".join(lines)
 
 
@@ -157,7 +189,8 @@ def main(argv=None) -> int:
         except (urllib.error.URLError, OSError) as error:
             print(f"mars_top: {base} unreachable: {error}", file=sys.stderr)
             return 1
-        screen = render_snapshot(stats, health)
+        profiles = fetch_worst_profiles(base)
+        screen = render_snapshot(stats, health, profiles)
         if args.once:
             print(screen)
             return 0
